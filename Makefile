@@ -1,0 +1,24 @@
+# Convenience targets for the AlphaWAN reproduction.
+
+.PHONY: install test bench docs examples all
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+docs:
+	python -m repro.tools.apidoc docs/API.md
+
+examples:
+	python examples/quickstart.py
+	python examples/gateway_anatomy.py
+	python examples/coexistence_sharing.py
+	python examples/standards_compliance.py
+	python examples/city_scale.py
+
+all: test bench

@@ -1,0 +1,18 @@
+"""Benchmark-suite helpers: run once, report the reproduced series."""
+
+import json
+
+import pytest
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Time one full experiment run (no warmup: these are minutes-long)."""
+    return benchmark.pedantic(
+        fn, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+    )
+
+
+def report(title, payload):
+    """Print a reproduction record into the benchmark output."""
+    print(f"\n=== {title} ===")
+    print(json.dumps(payload, indent=2, default=str))

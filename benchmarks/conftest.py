@@ -1,0 +1,6 @@
+"""Benchmark suite conftest: put helpers on the import path."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

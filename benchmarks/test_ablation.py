@@ -1,0 +1,25 @@
+"""Benchmark: ablation of AlphaWAN's planner design choices.
+
+Extension beyond the paper: quantifies each objective term and solver
+component at the Figure 12a operating point (15 GWs, 144 users).
+"""
+
+from repro.experiments.ablation import run_ablation
+
+from bench_utils import report, run_once
+
+
+def test_planner_ablation(benchmark):
+    result = run_once(benchmark, run_ablation)
+    report(
+        "Ablation: measured capacity per planner variant "
+        "(full objective vs components removed)",
+        result,
+    )
+    # The cell-collision penalty is the load-bearing term: without it the
+    # solver happily stacks users onto shared (channel, DR) cells.
+    assert result["no_cell_penalty"] < result["full"] - 20
+    # Greedy seeding buys convergence within the evaluation budget.
+    assert result["no_seeding"] <= result["full"]
+    # The full version stays near the oracle.
+    assert result["full"] > 120

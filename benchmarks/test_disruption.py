@@ -1,0 +1,29 @@
+"""Benchmark: live-upgrade disruption (extension of Figure 17)."""
+
+from repro.experiments.disruption import run_disruption
+
+from bench_utils import report, run_once
+
+
+def test_upgrade_disruption(benchmark):
+    result = run_once(benchmark, run_disruption)
+    report(
+        "Upgrade disruption: per-5s PRR around a live capacity upgrade "
+        "(paper 5.3.3: suspension <10 s; schedule during idle periods)",
+        result,
+    )
+    switch_bucket = int(result["switch_s"] // result["bucket_s"])
+    no_up = result["no_upgrade"]
+    under_load = result["upgrade_under_load"]
+    idle = result["upgrade_in_idle_window"]
+
+    # Upgrading under load craters the switch bucket...
+    assert under_load[switch_bucket] < no_up[switch_bucket] - 0.3
+    # ...but only that bucket: the next one is already healthy.
+    assert under_load[switch_bucket + 1] > no_up[switch_bucket + 1] - 0.05
+    # The idle-window policy avoids the crater entirely.
+    assert idle[switch_bucket] > no_up[switch_bucket] - 0.05
+    # Both upgraded arms enjoy higher steady-state PRR afterwards.
+    post = slice(switch_bucket + 1, None)
+    assert sum(under_load[post]) > sum(no_up[post])
+    assert sum(idle[post]) > sum(no_up[post])

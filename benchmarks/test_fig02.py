@@ -1,0 +1,22 @@
+"""Benchmark: Figure 2 — practical capacity gaps of operational LoRaWANs."""
+
+from repro.experiments.fig02 import run_fig2a, run_fig2b
+
+from bench_utils import report, run_once
+
+
+def test_fig2a_capacity_gap(benchmark):
+    result = run_once(benchmark, run_fig2a)
+    report("Figure 2a: received vs concurrency (paper: caps at 16)", result)
+    peak_1gw = max(result["gw1"])
+    peak_3gw = max(result["gw3"])
+    assert peak_1gw == 16
+    assert peak_3gw <= 16  # extra gateways yield no capacity
+    assert max(result["oracle"]) == 48
+
+
+def test_fig2b_coexistence_shares_cap(benchmark):
+    result = run_once(benchmark, run_fig2b)
+    report("Figure 2b: two networks share one decoder budget", result)
+    for row in result["settings"]:
+        assert 14 <= row["total_received"] <= 16

@@ -1,0 +1,28 @@
+"""Benchmark: Figure 3 — gateway reception pipeline dissection."""
+
+from repro.experiments.fig03 import run_fig3ab, run_fig3cd, run_fig3ef
+
+from bench_utils import report, run_once
+
+
+def test_fig3ab_lock_on_order(benchmark):
+    result = run_once(benchmark, run_fig3ab)
+    report("Figure 3a/b: PRR per node under schemes (a)/(b)", result)
+    assert all(p == 1.0 for p in result["prr_b"][:16])
+    assert all(p < 0.5 for p in result["prr_b"][16:])
+
+
+def test_fig3cd_snr_and_crowdedness(benchmark):
+    result = run_once(benchmark, run_fig3cd)
+    report("Figure 3c/d: SNR and channel crowdedness effects", result)
+    assert sum(result["prr_c"][:16]) > 15.0
+    assert all(p == 1.0 for p in result["prr_d"][:16])
+    assert all(p == 0.0 for p in result["prr_d"][16:])
+
+
+def test_fig3ef_cross_network_contention(benchmark):
+    result = run_once(benchmark, run_fig3ef)
+    report("Figure 3e/f: foreign packets consume decoders", result)
+    nets = result["network_of_node"]
+    own_gw1 = [p for p, n in zip(result["prr_gw1"], nets) if n == 1]
+    assert own_gw1[-1] < 1.0

@@ -1,0 +1,38 @@
+"""Benchmark: Figure 4 — loss-cause breakdown at scale."""
+
+from repro.experiments.fig04 import run_fig4a, run_fig4b
+
+from bench_utils import report, run_once
+
+
+def test_fig4a_single_network_scaling(benchmark):
+    result = run_once(benchmark, run_fig4a)
+    report("Figure 4a: loss causes vs user scale (single network)", result)
+    by_users = dict(zip(result["users"], result["breakdown"]))
+    # Losses grow with scale.
+    assert by_users[8000]["prr"] < by_users[500]["prr"]
+    # Decoder contention negligible at small scale...
+    assert by_users[500]["decoder_intra"] < 0.02
+    # ...and overtakes channel contention at large scale (paper: >3k).
+    assert by_users[8000]["decoder_intra"] > by_users[8000]["channel_intra"]
+
+
+def test_fig4b_coexisting_networks(benchmark):
+    result = run_once(benchmark, run_fig4b)
+    report("Figure 4b: loss causes vs coexisting networks", result)
+    by_count = dict(zip(result["networks"], result["breakdown"]))
+    assert by_count[1]["decoder_inter"] == 0.0
+    # Inter-network decoder contention leads from three networks on.
+    for n in (3, 4, 5, 6):
+        row = by_count[n]
+        losses = {
+            k: row[k]
+            for k in (
+                "decoder_intra",
+                "decoder_inter",
+                "channel_intra",
+                "channel_inter",
+                "other",
+            )
+        }
+        assert max(losses, key=losses.get) == "decoder_inter"

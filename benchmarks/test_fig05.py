@@ -1,0 +1,23 @@
+"""Benchmark: Figure 5 — Strategy 1 and 2 feasibility."""
+
+from repro.experiments.fig05 import run_fig5a, run_fig5b
+
+from bench_utils import report, run_once
+
+
+def test_fig5a_fewer_channels_per_gateway(benchmark):
+    result = run_once(benchmark, run_fig5a)
+    report("Figure 5a: capacity vs channels per gateway (paper: 16->48)", result)
+    caps = dict(zip(result["channels_per_gw"], result["capacity"]))
+    assert caps[8] == 16
+    assert caps[2] >= 40
+    assert caps[8] < caps[4] < caps[2] + 1
+
+
+def test_fig5b_heterogeneous_configs(benchmark):
+    result = run_once(benchmark, run_fig5b)
+    report("Figure 5b: heterogeneous channel adoption (paper: 16->24)", result)
+    caps = dict(zip(result["setting"], result["capacity"]))
+    assert caps["standard"] == 16
+    assert caps["setting1"] > 16
+    assert caps["setting2"] > 16

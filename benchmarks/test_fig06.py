@@ -1,0 +1,18 @@
+"""Benchmark: Figure 6 — ADR cell shrinkage and data-rate skew."""
+
+from repro.experiments.fig06 import run_fig6
+
+from bench_utils import report, run_once
+
+
+def test_fig6_adr_study(benchmark):
+    result = run_once(benchmark, run_fig6)
+    report(
+        "Figure 6: ADR cells and DR distribution "
+        "(paper: 7->2 GWs/user; >90% DR5 local, 53.7% TTN)",
+        result,
+    )
+    assert 5.5 <= result["gateways_per_node_no_adr"] <= 9.0
+    assert result["gateways_per_node_adr"] < result["gateways_per_node_no_adr"]
+    assert result["dr_distribution_local"][5] > 0.9
+    assert 0.3 < result["dr_distribution_ttn"][5] < 0.8

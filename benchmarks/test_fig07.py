@@ -1,0 +1,16 @@
+"""Benchmark: Figure 7 — directional antennas cannot stop contention."""
+
+from repro.experiments.fig07 import run_fig7
+
+from bench_utils import report, run_once
+
+
+def test_fig7_directional_antenna(benchmark):
+    result = run_once(benchmark, run_fig7)
+    report(
+        "Figure 7: off-beam rejection 14-40 dB, packets still decodable",
+        result,
+    )
+    off_beam = [r for r in result["rejection_db"] if r > 0]
+    assert all(14.0 <= r <= 40.0 for r in off_beam)
+    assert sum(result["detectable"]) >= len(result["detectable"]) - 1

@@ -1,0 +1,24 @@
+"""Benchmark: Figure 8 — reception over partially overlapping channels."""
+
+from repro.experiments.fig08 import run_fig8
+
+from bench_utils import report, run_once
+
+
+def test_fig8_overlap_sweep(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig8,
+        overlap_ratios=(0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+    )
+    report(
+        "Figure 8: PRR vs channel overlap "
+        "(paper: >=40% misalignment keeps PRR >80%)",
+        result,
+    )
+    overlaps = result["overlap"]
+    strong_nonorth = dict(zip(overlaps, result["strong_nonorth"]))
+    assert all(p > 0.95 for p in result["weak_orth"])
+    assert all(p > 0.95 for p in result["strong_orth"])
+    assert strong_nonorth[0.6] > 0.8
+    assert strong_nonorth[1.0] < 0.5

@@ -1,0 +1,78 @@
+"""Benchmark: Figure 12 — AlphaWAN testbed evaluation (a-e)."""
+
+import statistics
+
+from repro.experiments.fig12 import (
+    run_fig12a,
+    run_fig12b,
+    run_fig12c,
+    run_fig12de,
+)
+
+from bench_utils import report, run_once
+
+
+def test_fig12a_more_gateways_more_gains(benchmark):
+    result = run_once(benchmark, run_fig12a, fast=True)
+    report(
+        "Figure 12a: capacity vs #gateways "
+        "(paper: standard flat at 48; AlphaWAN reaches 144 by ~9 GWs)",
+        result,
+    )
+    assert max(result["standard"]) <= 55
+    final_full = result["alphawan_full"][-1]
+    assert final_full > 120  # approaches the 144 oracle
+    assert final_full > 2 * max(result["standard"])
+    assert final_full > result["random_cp"][-1]
+    # Capacity grows with gateways for the full version.
+    assert result["alphawan_full"][-1] > result["alphawan_full"][1]
+
+
+def test_fig12b_spectrum_efficiency(benchmark):
+    result = run_once(benchmark, run_fig12b, fast=True)
+    report(
+        "Figure 12b: capacity vs spectrum; per-MHz efficiency "
+        "(paper: AlphaWAN +292% per-MHz over standard)",
+        result,
+    )
+    # Capacity scales with spectrum for AlphaWAN.
+    assert result["alphawan_full"][-1] > result["alphawan_full"][0]
+    # AlphaWAN per-MHz efficiency beats standard everywhere.
+    for alpha, std in zip(
+        result["per_mhz_alphawan"], result["per_mhz_standard"]
+    ):
+        assert alpha > 2 * std
+
+
+def test_fig12c_contention_management(benchmark):
+    result = run_once(benchmark, run_fig12c)
+    means = {k: statistics.mean(v) for k, v in result.items()}
+    report(
+        "Figure 12c: capacity CDF means "
+        "(paper: 42 standard -> 57 w/o node side -> 68 full)",
+        {"means": means, "samples": result},
+    )
+    assert means["standard"] < means["no_node_side"] < means["full"]
+
+
+def test_fig12de_spectrum_sharing(benchmark):
+    result = run_once(benchmark, run_fig12de)
+    report(
+        "Figure 12d/e: coexisting networks "
+        "(paper: per-network >20 users; +158.9%..778.1% per-MHz)",
+        result,
+    )
+    # Standard collapses as networks multiply.
+    assert result["standard_per_network"][-1] < 5
+    # AlphaWAN (40 % overlap) holds per-network capacity above 20.
+    assert all(c >= 20 for c in result["alphawan_40_per_network"])
+    # Per-MHz efficiency improvement grows with network count.
+    gain_first = (
+        result["alphawan_40_per_mhz"][0] / max(result["standard_per_mhz"][0], 1)
+    )
+    gain_last = (
+        result["alphawan_40_per_mhz"][-1]
+        / max(result["standard_per_mhz"][-1], 0.5)
+    )
+    assert gain_last > gain_first
+    assert gain_last > 2.5  # paper: up to 778.1 %

@@ -1,0 +1,25 @@
+"""Benchmark: Figure 14 — partial adoption alongside legacy networks."""
+
+from repro.experiments.fig14 import run_fig14
+
+from bench_utils import report, run_once
+
+
+def test_fig14_partial_adoption(benchmark):
+    result = run_once(benchmark, run_fig14)
+    report(
+        "Figure 14: per-network capacity vs #networks adopting AlphaWAN "
+        "(paper: adopters ~2x+, legacy improves slightly, all rise)",
+        result,
+    )
+    caps = dict(zip(result["adopting"], result["capacity"]))
+    none, full = caps[0], caps[4]
+    # Without adoption everyone starves.
+    assert sum(none) <= 16
+    # Full adoption serves every network close to its 24 users.
+    assert all(c >= 20 for c in full)
+    # Adopters gain immediately: network 4 adopts first.
+    assert caps[1][3] > 3 * max(none[3], 1)
+    # Total capacity is monotone in adoption count.
+    totals = [sum(caps[a]) for a in result["adopting"]]
+    assert totals == sorted(totals)

@@ -1,0 +1,23 @@
+"""Benchmark: Figure 15 — fairness among coexisting networks."""
+
+from repro.experiments.fig15 import run_fig15
+
+from bench_utils import report, run_once
+
+
+def test_fig15_fairness(benchmark):
+    result = run_once(benchmark, run_fig15)
+    report(
+        "Figure 15: service ratios under varying load "
+        "(paper: both >90% up to 48; net2 collapses past 48, net1 holds)",
+        result,
+    )
+    net1 = dict(zip(result["net2_users"], result["service_net1"]))
+    net2 = dict(zip(result["net2_users"], result["service_net2"]))
+    # Within capacity both networks are served well.
+    assert net1[16] > 0.75 and net2[16] > 0.75
+    assert net1[48] > 0.75 and net2[48] > 0.75
+    # Overload hurts the overloading network...
+    assert net2[80] < net2[48] - 0.2
+    # ...while the isolated neighbor keeps high service (paper: >80%).
+    assert net1[80] > 0.7

@@ -1,0 +1,20 @@
+"""Benchmark: Figure 16 — spectrum sharing's reception-threshold cost."""
+
+from repro.experiments.fig16 import run_fig16
+
+from bench_utils import report, run_once
+
+
+def test_fig16_reception_thresholds(benchmark):
+    result = run_once(benchmark, run_fig16)
+    report(
+        "Figure 16: reception thresholds "
+        "(paper: baseline ~-13 dB; +3.3-3.7 dB with non-orth. DR)",
+        result,
+    )
+    assert abs(result["baseline"] + 13.0) < 0.3
+    assert abs(result["orth_4dbm"] - result["baseline"]) < 1.0
+    assert abs(result["orth_20dbm"] - result["baseline"]) < 1.0
+    shift = result["nonorth_20dbm"] - result["baseline"]
+    assert 2.0 < shift < 6.0
+    assert result["nonorth_4dbm"] <= result["nonorth_20dbm"]

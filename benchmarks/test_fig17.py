@@ -1,0 +1,34 @@
+"""Benchmark: Figure 17 — capacity-upgrade latency."""
+
+from repro.experiments.fig17 import run_fig17a, run_fig17b
+
+from bench_utils import report, run_once
+
+
+def test_fig17a_single_network_latency(benchmark):
+    result = run_once(benchmark, run_fig17a)
+    report(
+        "Figure 17a: upgrade latency vs scale "
+        "(paper: CP 0.45->1.37 s; reboot ~4.62 s dominates; total <10 s)",
+        result,
+    )
+    # CP solving grows with scale; reboot dominates the total.
+    assert result["cp_solving_s"] == sorted(result["cp_solving_s"])
+    for cp, reboot, total in zip(
+        result["cp_solving_s"], result["reboot_s"], result["total_s"]
+    ):
+        assert 3.5 < reboot < 6.5
+        assert total < 15.0
+        assert reboot > cp or total < 10.0
+
+
+def test_fig17b_coexisting_networks_latency(benchmark):
+    result = run_once(benchmark, run_fig17b)
+    report(
+        "Figure 17b: upgrade latency for 2-4 coexisting networks "
+        "(paper: master comm 0.17-0.28 s; total <6 s)",
+        result,
+    )
+    for comm, total in zip(result["master_comm_s"], result["total_s"]):
+        assert comm < 0.5  # real TCP round trip, loopback
+        assert total < 15.0

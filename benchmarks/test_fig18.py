@@ -1,0 +1,21 @@
+"""Benchmark: Figure 18 — regulatory spectrum across regions."""
+
+from repro.experiments.fig18 import run_fig18
+
+from bench_utils import report, run_once
+
+
+def test_fig18_regulatory_cdf(benchmark):
+    result = run_once(benchmark, run_fig18)
+    report(
+        "Figure 18: spectrum CDF "
+        "(paper: <6.5 MHz in >70% of regions)",
+        {
+            "num_regions": result["num_regions"],
+            "fraction_below_6_5mhz": result["fraction_below_6_5mhz"],
+            "cdf_tail": result["cdf_overall"][-5:],
+        },
+    )
+    assert result["fraction_below_6_5mhz"] > 0.7
+    ys = [y for _, y in result["cdf_overall"]]
+    assert ys == sorted(ys)

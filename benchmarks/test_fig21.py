@@ -1,0 +1,33 @@
+"""Benchmark: Figure 21 (Appendix D) — one year of user expansion."""
+
+from repro.experiments.fig21 import EVENTS, run_fig21
+
+from bench_utils import report, run_once
+
+
+def test_fig21_long_term_expansion(benchmark):
+    result = run_once(benchmark, run_fig21)
+    summary = {
+        "users_final": result["users"][-1],
+        "prr_standard_every_4w": [
+            round(x, 3) for x in result["prr"]["standard"][::4]
+        ],
+        "prr_alphawan_every_4w": [
+            round(x, 3) for x in result["prr"]["alphawan"][::4]
+        ],
+        "events": EVENTS,
+    }
+    report(
+        "Figure 21: weekly PRR over 53 weeks "
+        "(paper: AlphaWAN >90% through all events; standard degrades)",
+        summary,
+    )
+    std = result["prr"]["standard"]
+    alpha = result["prr"]["alphawan"]
+    # AlphaWAN absorbs the user surge and stays high to week 53.
+    assert alpha[-1] > 0.85
+    assert min(alpha) > 0.7
+    # Standard LoRaWAN cannot convert new resources into capacity.
+    assert std[-1] < alpha[-1] - 0.1
+    # The week-13 surge hurts standard more than AlphaWAN.
+    assert std[14] < alpha[14]

@@ -1,0 +1,28 @@
+"""Benchmark: Strategies 3 & 4 (Table 1) — adding extra resources."""
+
+from repro.experiments.strategies34 import run_strategy3, run_strategy4
+
+from bench_utils import report, run_once
+
+
+def test_strategy3_hardware_upgrade(benchmark):
+    result = run_once(benchmark, run_strategy3)
+    report(
+        "Strategy 3: decoder count vs capacity "
+        "(paper Table 4: capacity = decoders, needs new hardware)",
+        result,
+    )
+    assert result["capacity"] == result["decoders"]
+
+
+def test_strategy4_more_spectrum(benchmark):
+    result = run_once(benchmark, run_strategy4)
+    report(
+        "Strategy 4: more spectrum raises total capacity but not "
+        "per-MHz efficiency (paper section 4.2.2)",
+        result,
+    )
+    caps = result["capacity"]
+    assert caps == sorted(caps)  # total capacity grows...
+    per_mhz = result["per_mhz"]
+    assert max(per_mhz) - min(per_mhz) < 1.5  # ...efficiency does not

@@ -1,0 +1,13 @@
+"""Benchmark: Table 4 — COTS gateway capacities."""
+
+from repro.experiments.table4 import run_table4
+
+from bench_utils import report, run_once
+
+
+def test_table4_cots_capacities(benchmark):
+    rows = run_once(benchmark, run_table4)
+    report("Table 4: theoretical vs measured COTS capacity", rows)
+    for row in rows:
+        assert row["measured_capacity"] == row["decoders"]
+        assert row["theory_capacity"] > row["measured_capacity"]

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Spectrum sharing: four operators coexist through the AlphaWAN Master.
+
+Starts a real Master node on a loopback TCP socket; four operators
+register, receive frequency-misaligned channel allocations, plan their
+networks internally, and then all 96 nodes transmit concurrently.
+Compare against the status quo, where the same four networks on
+identical standard plans fight over a single 16-decoder budget.
+
+Run:  python examples/coexistence_sharing.py
+"""
+
+import random
+
+from repro.core.evolutionary import GAConfig
+from repro.core.intra_planner import IntraNetworkPlanner, PlannerConfig
+from repro.core.master import MasterNode
+from repro.core.master_client import MasterClient
+from repro.core.master_server import MasterServer
+from repro.experiments.common import (
+    lab_link,
+    measure_capacity,
+    stagger_duplicate_powers,
+)
+from repro.node.traffic import capacity_burst
+from repro.phy.regions import TESTBED_16
+from repro.sim.scenario import assign_orthogonal_combos, build_network
+from repro.sim.simulator import Simulator
+
+NUM_OPERATORS = 4
+NODES_PER_NETWORK = 24
+GATEWAYS_PER_NETWORK = 3
+
+
+def build_networks(grid):
+    networks = []
+    for k in range(NUM_OPERATORS):
+        networks.append(
+            build_network(
+                network_id=k + 1,
+                num_gateways=GATEWAYS_PER_NETWORK,
+                num_nodes=NODES_PER_NETWORK,
+                channels=grid.channels(),
+                seed=10 + k,
+                gateway_id_base=100 * k,
+                node_id_base=10_000 * k,
+                width_m=400.0,
+                height_m=300.0,
+            )
+        )
+    return networks
+
+
+def joint_burst(networks, link, seed=0):
+    gateways = [gw for n in networks for gw in n.gateways]
+    devices = [d for n in networks for d in n.devices]
+    order = list(devices)
+    random.Random(seed).shuffle(order)
+    sim = Simulator(gateways, devices, link=link)
+    result = sim.run(capacity_burst(order))
+    return [result.delivered_count(n.network_id) for n in networks]
+
+
+def main() -> None:
+    grid = TESTBED_16.grid()
+    link = lab_link(seed=0)
+
+    # --- Status quo: everyone on the standard plan ----------------------
+    networks = build_networks(grid)
+    shared_devices = []
+    for net in networks:
+        assign_orthogonal_combos(net.devices, grid.channels())
+        shared_devices.extend(net.devices)
+    random.Random(7).shuffle(shared_devices)
+    stagger_duplicate_powers(shared_devices)
+    caps = joint_burst(networks, link)
+    print("Without coordination (all operators on standard plans):")
+    for k, c in enumerate(caps):
+        print(f"  operator {k + 1}: {c:2d} / {NODES_PER_NETWORK} users served")
+    print(f"  total: {sum(caps)} (decoder budget shared by everyone)\n")
+
+    # --- AlphaWAN: Master-coordinated misaligned allocations -----------
+    networks = build_networks(grid)
+    master = MasterNode(grid, expected_networks=NUM_OPERATORS)
+    with MasterServer(master) as server:
+        host, port = server.address
+        print(f"AlphaWAN Master listening on {host}:{port}")
+        for k, net in enumerate(networks):
+            operator = f"operator-{k + 1}"
+            with MasterClient(server.address) as client:
+                assignment = client.register(operator)
+                rtt_ms = client.last_rtt_s * 1e3
+            shift_khz = assignment.shift_hz / 1e3
+            print(
+                f"  {operator}: slot {assignment.slot}, "
+                f"shift +{shift_khz:.1f} kHz, "
+                f"{len(assignment.channel_indices)} channels "
+                f"(registration RTT {rtt_ms:.2f} ms)"
+            )
+            IntraNetworkPlanner(
+                net,
+                assignment.channels(),
+                link=link,
+                config=PlannerConfig(
+                    ga=GAConfig(population=40, generations=60, seed=20 + k)
+                ),
+            ).plan_and_apply()
+        print(f"  master status: {master.status()}\n")
+
+    caps = joint_burst(networks, link)
+    print("With AlphaWAN spectrum sharing (frequency-misaligned plans):")
+    for k, c in enumerate(caps):
+        print(f"  operator {k + 1}: {c:2d} / {NODES_PER_NETWORK} users served")
+    print(f"  total: {sum(caps)} in the same 1.6 MHz")
+    print(
+        "\nMisaligned channels are truncated by foreign front-ends before\n"
+        "reaching any decoder: the operators no longer contend at all."
+    )
+
+
+if __name__ == "__main__":
+    main()

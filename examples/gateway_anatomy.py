@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Gateway anatomy: watch the decoder contention problem happen.
+
+Reconstructs the paper's section 3.1 case study against a single COTS
+gateway model (RAK7268CV2, SX1302, 16 decoders): 20 concurrent packets
+with ordered lock-ons, SNR diversity, and a coexisting foreign network
+— printing the fate of every packet at each pipeline stage.
+
+Run:  python examples/gateway_anatomy.py
+"""
+
+from repro.gateway.gateway import Gateway, Outcome
+from repro.gateway.models import get_model
+from repro.phy.channels import standard_plans
+from repro.phy.link import Position, noise_floor_dbm
+from repro.phy.lora import DataRate, DR_TO_SF
+from repro.phy.regions import TESTBED_16
+from repro.types import Observation, Transmission
+
+PAYLOAD = 20
+SLOT_S = 0.002
+
+
+def ordered_burst(cells, network_of=lambda i: 1):
+    """Packets whose lock-on instants follow the node index."""
+    probes = [
+        Transmission(i + 1, network_of(i), ch, DR_TO_SF[dr], 0.0, PAYLOAD)
+        for i, (ch, dr) in enumerate(cells)
+    ]
+    t0 = max(p.preamble_s - i * SLOT_S for i, p in enumerate(probes))
+    noise = noise_floor_dbm(125_000)
+    observations = []
+    for i, (ch, dr) in enumerate(cells):
+        tx = Transmission(
+            i + 1,
+            network_of(i),
+            ch,
+            DR_TO_SF[dr],
+            t0 + i * SLOT_S - probes[i].preamble_s,
+            PAYLOAD,
+        )
+        observations.append(Observation(transmission=tx, rssi_dbm=noise + 10))
+    return observations
+
+
+def print_fates(records, title):
+    print(f"\n{title}")
+    marks = {
+        Outcome.RECEIVED: "RECEIVED",
+        Outcome.NO_DECODER: "dropped: no decoder free",
+        Outcome.FILTERED_FOREIGN: "decoded, then filtered (foreign sync word)",
+        Outcome.DECODE_FAILED: "decode failed (collision)",
+        Outcome.CHANNEL_MISMATCH: "invisible (front-end truncated)",
+        Outcome.BELOW_SENSITIVITY: "invisible (below sensitivity)",
+    }
+    for rec in sorted(records, key=lambda r: r.transmission.node_id):
+        tx = rec.transmission
+        blockers = ""
+        if rec.outcome is Outcome.NO_DECODER:
+            foreign = sum(1 for n in rec.blocker_network_ids if n != tx.network_id)
+            blockers = f"  [decoders held: {len(rec.blocker_network_ids)}, foreign: {foreign}]"
+        print(
+            f"  node {tx.node_id:2d} (net {tx.network_id}, "
+            f"{tx.channel.center_hz / 1e6:.1f} MHz, SF{int(tx.sf)}): "
+            f"{marks[rec.outcome]}{blockers}"
+        )
+
+
+def main() -> None:
+    model = get_model("RAK7268CV2")
+    grid = TESTBED_16.grid()
+    plan = standard_plans(grid)[0]
+    print(
+        f"Gateway: {model.manufacturer} {model.name} ({model.chipset}), "
+        f"{model.rx_chains}+{model.aux_chains} Rx chains, "
+        f"{model.decoders} decoders"
+    )
+    print(
+        f"Theoretical capacity of its spectrum: {model.theoretical_capacity} "
+        f"concurrent users; practical: {model.practical_capacity}"
+    )
+
+    cells = [(ch, dr) for ch in plan.channels for dr in DataRate][:20]
+
+    # --- 20 concurrent packets, one network -----------------------------
+    gw = Gateway(1, 1, Position(0, 0), list(plan.channels), model=model)
+    records = gw.receive(ordered_burst(cells))
+    print_fates(records, "20 concurrent packets, lock-ons in node order:")
+
+    # --- Two coexisting networks ----------------------------------------
+    gw = Gateway(1, 1, Position(0, 0), list(plan.channels), model=model)
+    records = gw.receive(
+        ordered_burst(cells, network_of=lambda i: 1 if i % 2 else 2)
+    )
+    print_fates(
+        records,
+        "Same burst, alternating between two networks "
+        "(gateway serves network 1):",
+    )
+    print(
+        "\nForeign packets pass the detector, seize decoders, and are only\n"
+        "filtered after decoding — they cost network 1 exactly as much\n"
+        "capacity as its own traffic. This is inter-network decoder\n"
+        "contention, and it is why coexisting LoRaWANs starve each other."
+    )
+
+
+if __name__ == "__main__":
+    main()

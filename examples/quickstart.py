@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Quickstart: see the decoder contention problem, then fix it.
+
+Builds a small LoRaWAN (5 gateways, 48 nodes, 1.6 MHz), shows that the
+standard homogeneous configuration caps at 16 concurrent users — the
+decoder budget of a single SX1302 gateway — and that AlphaWAN's
+intra-network channel planning recovers the full 48-user theoretical
+capacity from the very same hardware.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.baselines.standard import apply_standard_lorawan
+from repro.core.evolutionary import GAConfig
+from repro.core.intra_planner import IntraNetworkPlanner, PlannerConfig
+from repro.experiments.common import lab_link, measure_capacity
+from repro.phy.regions import TESTBED_16
+from repro.sim.metrics import LossCause, loss_breakdown
+from repro.sim.scenario import assign_orthogonal_combos, build_network
+
+
+def main() -> None:
+    grid = TESTBED_16.grid()
+    link = lab_link(seed=0)
+
+    # A compact deployment: every gateway hears every node, as in the
+    # paper's feasibility studies.
+    network = build_network(
+        network_id=1,
+        num_gateways=5,
+        num_nodes=48,
+        channels=grid.channels(),
+        seed=2,
+        width_m=250.0,
+        height_m=250.0,
+    )
+    assign_orthogonal_combos(network.devices, grid.channels())
+
+    print("Spectrum: 1.6 MHz -> 8 channels x 6 data rates = 48 cells")
+    print(f"Gateways: {len(network.gateways)} x 16 decoders\n")
+
+    # --- Standard LoRaWAN: homogeneous channel plans -------------------
+    apply_standard_lorawan(network, grid, seed=0, randomize_devices=False)
+    result = measure_capacity(network.gateways, network.devices, link=link)
+    breakdown = loss_breakdown(result)
+    print("Standard LoRaWAN (all gateways on the same channel plan):")
+    print(f"  concurrent users served: {result.delivered_count()} / 48")
+    print(
+        "  lost to decoder contention: "
+        f"{breakdown.ratio(LossCause.DECODER_INTRA):.0%}"
+    )
+    print(
+        "  -> every gateway admits the same first-16 lock-ons and drops\n"
+        "     the same late packets; extra gateways add nothing.\n"
+    )
+
+    # --- AlphaWAN: intra-network channel planning ----------------------
+    planner = IntraNetworkPlanner(
+        network,
+        grid.channels(),
+        link=link,
+        config=PlannerConfig(
+            ga=GAConfig(population=60, generations=100, seed=7)
+        ),
+    )
+    outcome = planner.plan_and_apply()
+    print("AlphaWAN intra-network channel planning:")
+    print(f"  solve time: {outcome.solve_time_s * 1e3:.0f} ms")
+    for j, (start, count) in enumerate(outcome.solution.gateway_windows):
+        chans = outcome.solution.gateway_channels(outcome.cp_input, j)
+        freqs = ", ".join(f"{c.center_hz / 1e6:.1f}" for c in chans)
+        print(f"  gateway {j}: {count} channels [{freqs}] MHz")
+
+    result = measure_capacity(network.gateways, network.devices, link=link)
+    print(f"\n  concurrent users served: {result.delivered_count()} / 48")
+    print(
+        "  -> heterogeneous windows concentrate each gateway's decoders\n"
+        "     on a distinct slice of the spectrum; together the five\n"
+        "     pools cover the whole theoretical capacity."
+    )
+
+
+if __name__ == "__main__":
+    main()

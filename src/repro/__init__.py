@@ -1,0 +1,29 @@
+"""AlphaWAN reproduction (SIGCOMM 2025).
+
+Reproduces "Towards Next-Generation Global IoT: Empowering Massive
+Connectivity with Harmonious Multi-Network Coexistence" — the decoder
+contention problem in LoRaWAN gateways and the AlphaWAN system that
+mitigates it via intra-network channel planning and inter-network
+spectrum sharing.
+
+Package layout:
+
+* :mod:`repro.phy` — LoRa PHY substrate (modulation, channels, links,
+  interference, regional spectrum).
+* :mod:`repro.gateway` — COTS gateway reception pipeline (detectors,
+  FCFS dispatcher, finite decoder pool, sync-word filter).
+* :mod:`repro.node` — end devices, traffic generation, standard ADR.
+* :mod:`repro.sim` — network simulation, topologies, metrics,
+  loss-cause classification.
+* :mod:`repro.netserver` — ChirpStack-like network server.
+* :mod:`repro.baselines` — standard LoRaWAN, Random CP, ADR, LMAC, CIC.
+* :mod:`repro.core` — AlphaWAN: CP optimization, evolutionary solver,
+  the spectrum-sharing Master (TCP), traffic estimation, upgrades.
+* :mod:`repro.experiments` — drivers regenerating every paper figure.
+"""
+
+from .types import Observation, Transmission, time_overlap_s
+
+__version__ = "1.0.0"
+
+__all__ = ["Observation", "Transmission", "time_overlap_s", "__version__"]

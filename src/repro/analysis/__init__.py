@@ -1,0 +1,21 @@
+"""Analytical companions: Erlang-B decoder blocking and capacity bounds."""
+
+from .bounds import (
+    decoder_bound,
+    effective_capacity_bound,
+    spectrum_bound,
+    standard_lorawan_bound,
+)
+from .erlang import (
+    capacity_for_blocking,
+    erlang_b,
+    expected_decoder_loss,
+    offered_load,
+)
+
+__all__ = [
+    "decoder_bound", "effective_capacity_bound", "spectrum_bound",
+    "standard_lorawan_bound",
+    "capacity_for_blocking", "erlang_b", "expected_decoder_loss",
+    "offered_load",
+]

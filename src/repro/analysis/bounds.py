@@ -1,0 +1,76 @@
+"""Closed-form capacity bounds used throughout the paper's arguments.
+
+Three ceilings govern a LoRaWAN deployment's concurrent-user capacity:
+
+* the **spectrum bound** — channels × orthogonal data rates;
+* the **decoder bound** — the aggregate decoder pools of the gateways,
+  discounted by how many gateways redundantly hear each packet;
+* the **effective capacity** — the minimum of the two, which AlphaWAN's
+  planning approaches and standard LoRaWAN does not.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..gateway.gateway import Gateway
+from ..gateway.models import NUM_ORTHOGONAL_DRS
+
+__all__ = [
+    "spectrum_bound",
+    "decoder_bound",
+    "effective_capacity_bound",
+    "standard_lorawan_bound",
+]
+
+
+def spectrum_bound(num_channels: int, num_drs: int = NUM_ORTHOGONAL_DRS) -> int:
+    """Theoretical concurrent users of a spectrum block (the Oracle)."""
+    if num_channels < 0 or num_drs < 0:
+        raise ValueError("counts must be non-negative")
+    return num_channels * num_drs
+
+
+def decoder_bound(
+    gateways: Sequence[Gateway], redundancy: float = 1.0
+) -> float:
+    """Aggregate decoder ceiling across gateways.
+
+    ``redundancy`` is the mean number of gateways that hear (and hence
+    spend a decoder on) each packet: 1.0 with perfectly disjoint
+    channel windows, up to ``len(gateways)`` with homogeneous plans.
+    """
+    if redundancy < 1.0:
+        raise ValueError("each packet occupies at least one gateway")
+    total = sum(gw.model.decoders for gw in gateways)
+    return total / redundancy
+
+
+def effective_capacity_bound(
+    gateways: Sequence[Gateway],
+    num_channels: int,
+    redundancy: float = 1.0,
+) -> float:
+    """min(spectrum bound, decoder bound): what planning can achieve."""
+    return min(
+        float(spectrum_bound(num_channels)),
+        decoder_bound(gateways, redundancy),
+    )
+
+
+def standard_lorawan_bound(
+    gateways: Sequence[Gateway], num_channels: int
+) -> float:
+    """Capacity ceiling of today's homogeneous standard plans.
+
+    Gateways sharing a plan observe identical packets in the same order
+    and admit the same first-k: each plan group contributes a single
+    decoder pool regardless of its size.  With P standard plans, the
+    ceiling is ``P x decoders-per-gateway`` (the paper's 48 = 3 x 16 for
+    a 4.8 MHz band), further capped by the spectrum bound.
+    """
+    if not gateways:
+        return 0.0
+    plans = max(num_channels // 8, 1)
+    per_pool = gateways[0].model.decoders
+    return min(float(plans * per_pool), float(spectrum_bound(num_channels)))

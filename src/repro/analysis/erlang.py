@@ -1,0 +1,78 @@
+"""Queueing-theoretic companion: the decoder pool as an Erlang loss system.
+
+A gateway's decoder pool is an M/G/c/c system: packets arrive (Poisson
+at rate λ), hold a decoder for their airtime (service time T), and are
+*blocked* — dropped, never queued — when all ``c`` decoders are busy.
+The blocking probability is the Erlang-B formula
+
+    B(a, c) = (a^c / c!) / Σ_{k=0..c} a^k / k!,   a = λ·T (offered load)
+
+which is insensitive to the service-time distribution — exactly why the
+decoder contention problem is governed by *offered concurrent load*
+(the CP problem's ``u_i``) and not by packet-size details.  The test
+suite validates the simulator's decoder-drop rate against this formula.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = [
+    "erlang_b",
+    "offered_load",
+    "capacity_for_blocking",
+    "expected_decoder_loss",
+]
+
+
+def erlang_b(offered: float, servers: int) -> float:
+    """Erlang-B blocking probability for ``offered`` load on ``servers``.
+
+    Uses the numerically stable recurrence
+    ``B(a, 0) = 1;  B(a, c) = a·B(a, c-1) / (c + a·B(a, c-1))``.
+    """
+    if offered < 0:
+        raise ValueError("offered load must be non-negative")
+    if servers < 0:
+        raise ValueError("server count must be non-negative")
+    b = 1.0
+    for c in range(1, servers + 1):
+        b = offered * b / (c + offered * b)
+    return b
+
+
+def offered_load(arrival_rate_hz: float, airtime_s: float) -> float:
+    """Offered load ``a = λ·T`` in Erlangs."""
+    if arrival_rate_hz < 0 or airtime_s < 0:
+        raise ValueError("rate and airtime must be non-negative")
+    return arrival_rate_hz * airtime_s
+
+
+def capacity_for_blocking(
+    servers: int, target_blocking: float, tolerance: float = 1e-6
+) -> float:
+    """Largest offered load a pool can carry at a blocking target.
+
+    The planning-side inverse of Erlang-B: how much concurrent demand a
+    16-decoder gateway may be assigned while keeping decoder losses
+    under, say, 1 %.
+    """
+    if not 0 < target_blocking < 1:
+        raise ValueError("target blocking must be in (0, 1)")
+    lo, hi = 0.0, float(max(servers, 1))
+    while erlang_b(hi, servers) < target_blocking:
+        hi *= 2.0
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2.0
+        if erlang_b(mid, servers) < target_blocking:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0
+
+
+def expected_decoder_loss(
+    arrival_rate_hz: float, airtime_s: float, decoders: int
+) -> float:
+    """Expected fraction of packets dropped for lack of a decoder."""
+    return erlang_b(offered_load(arrival_rate_hz, airtime_s), decoders)

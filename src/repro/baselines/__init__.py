@@ -1,0 +1,16 @@
+"""Baselines the paper evaluates against: standard LoRaWAN, Random CP,
+standard ADR, LMAC (collision avoidance), CIC (collision resolution)."""
+
+from .adr_baseline import apply_standard_adr, dr_distribution, gateways_per_node
+from .cic import enable_cic
+from .lmac import lmac_schedule
+from .random_cp import apply_random_cp
+from .standard import apply_standard_lorawan
+
+__all__ = [
+    "apply_standard_adr", "dr_distribution", "gateways_per_node",
+    "enable_cic",
+    "lmac_schedule",
+    "apply_random_cp",
+    "apply_standard_lorawan",
+]

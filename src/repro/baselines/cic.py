@@ -1,0 +1,27 @@
+"""CIC baseline: Concurrent Interference Cancellation (SIGCOMM 2021).
+
+CIC decodes multi-packet collisions with specialized PHY processing at
+the gateway.  Following the paper's fairness protocol (section 5.2.1),
+we grant CIC ideal collision resolution but keep the COTS decoder
+constraint: each gateway still owns only its hardware decoder pool, so
+decoder contention persists — the property that makes CIC saturate in
+Figure 13.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..sim.scenario import Network
+
+__all__ = ["enable_cic"]
+
+
+def enable_cic(network: Network, enabled: bool = True) -> None:
+    """Toggle CIC-style collision-resilient reception on every gateway.
+
+    The gateways keep their decoder pools and FCFS dispatch; only the
+    payload-decode stage becomes immune to co-channel interference.
+    """
+    for gw in network.gateways:
+        gw.collision_resilient = enabled

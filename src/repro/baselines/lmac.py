@@ -1,0 +1,66 @@
+"""LMAC baseline: carrier-sense MAC for LoRa (Gamage et al. 2020).
+
+LMAC avoids packet collisions by channel-activity detection before
+transmitting.  We model its *effect* at the schedule level: given a
+planned transmission set, packets that would collide (same channel,
+same SF, overlapping on air) are deferred until the channel-SF pair is
+free, plus a small seeded backoff.  Collisions disappear; decoder
+contention does not — which is exactly why LMAC saturates in the
+paper's Figure 13 once the user scale exceeds the decoder budget.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import Dict, List, Sequence, Tuple
+
+from ..phy.channels import Channel
+from ..types import Transmission
+
+__all__ = ["lmac_schedule"]
+
+_BACKOFF_MAX_S = 0.02
+# Maximum total deferral a node tolerates before transmitting anyway:
+# LoRa nodes are energy-constrained and cannot carrier-sense forever,
+# so under saturation LMAC's collision avoidance breaks down.
+_MAX_DEFER_S = 2.0
+
+
+def _channel_key(channel: Channel) -> Tuple[float, float]:
+    return (round(channel.center_hz, 0), round(channel.bandwidth_hz, 0))
+
+
+def lmac_schedule(
+    transmissions: Sequence[Transmission],
+    seed: int = 0,
+    backoff_max_s: float = _BACKOFF_MAX_S,
+    max_defer_s: float = _MAX_DEFER_S,
+) -> List[Transmission]:
+    """Reschedule transmissions with LMAC-style carrier sensing.
+
+    Packets are processed in start order; each defers until its
+    (channel, SF) medium is idle, up to ``max_defer_s`` — past that the
+    node gives up sensing and transmits (a collision the avoidance
+    cannot prevent under saturation).  Start times only ever move
+    later, and the relative order per medium is preserved.
+
+    Returns:
+        A new transmission list sorted by (possibly deferred) start.
+    """
+    rng = random.Random(seed)
+    busy_until: Dict[Tuple[Tuple[float, float], int], float] = {}
+    out: List[Transmission] = []
+    for tx in sorted(transmissions, key=lambda t: t.start_s):
+        medium = (_channel_key(tx.channel), int(tx.sf))
+        free_at = busy_until.get(medium, float("-inf"))
+        start = tx.start_s
+        if start < free_at:
+            deferred = free_at + rng.uniform(0.0, backoff_max_s)
+            if deferred - tx.start_s <= max_defer_s:
+                start = deferred
+        moved = replace(tx, start_s=start)
+        busy_until[medium] = max(busy_until.get(medium, 0.0), moved.end_s)
+        out.append(moved)
+    out.sort(key=lambda t: t.start_s)
+    return out

@@ -1,0 +1,46 @@
+"""Standard-LoRaWAN baseline: homogeneous channel plans.
+
+Operators today pick one of the predefined channel plans (Figure 19) and
+configure every gateway identically.  When the operating spectrum spans
+several plans, gateways are spread round-robin across the plans (the
+paper's Figure 12a baseline uses three standard plans over 24 channels)
+— but every gateway *within* a plan still observes the same packets in
+the same order, so each plan group is capped by a single decoder pool.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..phy.channels import ChannelGrid, ChannelPlan, standard_plans
+from ..sim.scenario import Network
+
+__all__ = ["apply_standard_lorawan"]
+
+
+def apply_standard_lorawan(
+    network: Network,
+    grid: ChannelGrid,
+    seed: int = 0,
+    randomize_devices: bool = True,
+) -> List[ChannelPlan]:
+    """Configure a network the way commercial operators run it today.
+
+    Gateways take the standard plans round-robin; devices pick a random
+    channel from the full grid (their uplinks are only heard by the
+    plan group covering that channel).
+
+    Returns:
+        The standard plans used.
+    """
+    plans = standard_plans(grid)
+    rng = random.Random(seed)
+    for j, gw in enumerate(network.gateways):
+        plan = plans[j % len(plans)]
+        gw.configure(list(plan.channels))
+    if randomize_devices:
+        all_channels = grid.channels()
+        for dev in network.devices:
+            dev.apply_config(channel=rng.choice(all_channels))
+    return plans

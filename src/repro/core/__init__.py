@@ -1,0 +1,77 @@
+"""AlphaWAN core: intra-/inter-network channel planning and the Master.
+
+The paper's primary contribution.  Two primitives:
+
+* **Intra-network channel planning** (:class:`IntraNetworkPlanner`) —
+  joint optimization of gateway channel windows and node
+  channel/DR/power settings (Strategies 1, 2, 7), solved with a seeded
+  evolutionary algorithm over the CP problem of section 4.3.1.
+* **Inter-network channel planning** (:class:`MasterNode`,
+  :func:`misaligned_grids`) — frequency-misaligned channel plans per
+  operator (Strategy 8), coordinated by a centralized Master reachable
+  over TCP (:class:`MasterServer` / :class:`MasterClient`).
+"""
+
+from .agents import (
+    BACKHAUL_GBPS,
+    GatewayAgent,
+    PER_GATEWAY_RTT_S,
+    REBOOT_JITTER_S,
+    REBOOT_MEAN_S,
+    distribution_latency_s,
+)
+from .commissioning import (
+    CommissioningReport,
+    apply_plan_via_mac,
+    commission_network,
+)
+from .cp_problem import CPEvaluator, CPInput, CPSolution, GatewaySpec, NodeSpec
+from .evolutionary import GAConfig, GAResult, evolve
+from .inter_planner import (
+    OperatorAllocation,
+    SharingPlan,
+    allocate_operators,
+    cross_network_overlap,
+    max_coexisting_networks,
+    misaligned_grids,
+    misalignment_for,
+)
+from .intra_planner import (
+    IntraNetworkPlanner,
+    PlanOutcome,
+    PlannerConfig,
+    build_cp_input,
+)
+from .log_parser import ParseStats, parse_log, parse_log_line
+from .master import Assignment, MasterNode, RegionFullError
+from .master_client import MasterClient, MasterRequestError
+from .master_server import MasterServer
+from .protocol import (
+    MAX_MESSAGE_BYTES,
+    ProtocolError,
+    encode_message,
+    read_message,
+    send_message,
+)
+from .traffic_estimator import TrafficEstimator, WindowEstimate
+from .upgrade import LatencyBreakdown, run_capacity_upgrade
+
+__all__ = [
+    "BACKHAUL_GBPS", "GatewayAgent", "PER_GATEWAY_RTT_S", "REBOOT_JITTER_S",
+    "REBOOT_MEAN_S", "distribution_latency_s",
+    "CommissioningReport", "apply_plan_via_mac", "commission_network",
+    "CPEvaluator", "CPInput", "CPSolution", "GatewaySpec", "NodeSpec",
+    "GAConfig", "GAResult", "evolve",
+    "OperatorAllocation", "SharingPlan", "allocate_operators",
+    "cross_network_overlap", "max_coexisting_networks",
+    "misaligned_grids", "misalignment_for",
+    "IntraNetworkPlanner", "PlanOutcome", "PlannerConfig", "build_cp_input",
+    "ParseStats", "parse_log", "parse_log_line",
+    "Assignment", "MasterNode", "RegionFullError",
+    "MasterClient", "MasterRequestError",
+    "MasterServer",
+    "MAX_MESSAGE_BYTES", "ProtocolError", "encode_message", "read_message",
+    "send_message",
+    "TrafficEstimator", "WindowEstimate",
+    "LatencyBreakdown", "run_capacity_upgrade",
+]

@@ -1,0 +1,240 @@
+"""Inter-network channel planning: frequency-misaligned plans (Strategy 8).
+
+Coexisting operators receive channel grids shifted against each other so
+that every cross-network channel pair overlaps below the radio's
+detection threshold: foreign packets are truncated by the front-end and
+never consume decoders.  The shift schedule is computed here; the
+:mod:`.master` hands assignments to operators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..phy.channels import Channel, ChannelGrid, overlap_ratio
+from ..phy.interference import DETECTION_MIN_OVERLAP
+
+__all__ = [
+    "SharingPlan",
+    "OperatorAllocation",
+    "max_coexisting_networks",
+    "misalignment_for",
+    "misaligned_grids",
+    "allocate_operators",
+    "cross_network_overlap",
+]
+
+
+def _pairwise_min_offset_hz(shifts: List[float], spacing_hz: float) -> float:
+    """Smallest effective center offset between any two shifted grids.
+
+    Grids repeat every ``spacing_hz``, so the effective offset of two
+    shifts is their difference folded into [0, spacing) and mirrored.
+    """
+    best = math.inf
+    for i in range(len(shifts)):
+        for k in range(i + 1, len(shifts)):
+            d = abs(shifts[i] - shifts[k]) % spacing_hz
+            d = min(d, spacing_hz - d)
+            best = min(best, d)
+    return best
+
+
+def max_coexisting_networks(
+    spacing_hz: float = 200_000.0,
+    bandwidth_hz: float = 125_000.0,
+    detection_min_overlap: float = DETECTION_MIN_OVERLAP,
+) -> int:
+    """How many networks the spectrum can isolate via misalignment.
+
+    With uniform interleaving the shift between adjacent operators is
+    ``spacing / N``; isolation requires every cross-network channel
+    offset to exceed ``(1 - detection_min_overlap) * bandwidth``.
+    """
+    min_offset = (1.0 - detection_min_overlap) * bandwidth_hz
+    n = int(spacing_hz // min_offset)
+    return max(n, 1)
+
+
+def misalignment_for(
+    num_networks: int,
+    spacing_hz: float = 200_000.0,
+) -> float:
+    """Uniform inter-operator shift for ``num_networks`` coexisting nets."""
+    if num_networks < 1:
+        raise ValueError("need at least one network")
+    return spacing_hz / num_networks
+
+
+@dataclass(frozen=True)
+class SharingPlan:
+    """The Master's division of a spectrum block among operators."""
+
+    base: ChannelGrid
+    shifts_hz: Tuple[float, ...]  # per operator slot, slot 0 first
+
+    @property
+    def num_slots(self) -> int:
+        """Operator slots available in this plan."""
+        return len(self.shifts_hz)
+
+    def grid_for(self, slot: int) -> ChannelGrid:
+        """The shifted channel grid of one operator slot."""
+        if not 0 <= slot < self.num_slots:
+            raise IndexError(f"slot {slot} out of range 0..{self.num_slots - 1}")
+        return self.base.shifted(self.shifts_hz[slot])
+
+    def adjacent_overlap(self) -> float:
+        """Overlap ratio between adjacent operator slots' channels."""
+        if self.num_slots < 2:
+            return 0.0
+        a = self.grid_for(0).channel(0)
+        b = self.grid_for(1).channel(0)
+        return overlap_ratio(a, b)
+
+
+def misaligned_grids(
+    base: ChannelGrid,
+    num_networks: int,
+    overlap_ratio_target: Optional[float] = None,
+) -> SharingPlan:
+    """Build the misaligned sharing plan for a region.
+
+    Args:
+        base: The regional channel grid (slot 0's grid).
+        num_networks: Expected number of coexisting networks.
+        overlap_ratio_target: Optional explicit overlap ratio between
+            adjacent operators (the paper evaluates 20 %, 40 %, 60 %).
+            When omitted, shifts are spread uniformly
+            (``spacing / num_networks``).
+
+    Returns:
+        The sharing plan; slot *k* is shifted ``k * delta`` upward.
+
+    Raises:
+        ValueError: if the requested configuration cannot isolate the
+            networks (cross-network overlap would reach the radio
+            detection threshold).
+    """
+    if num_networks < 1:
+        raise ValueError("need at least one network")
+    if overlap_ratio_target is not None:
+        if not 0.0 <= overlap_ratio_target < 1.0:
+            raise ValueError("overlap ratio must be in [0, 1)")
+        delta = (1.0 - overlap_ratio_target) * base.bandwidth_hz
+    else:
+        delta = misalignment_for(num_networks, base.spacing_hz)
+    shifts = [k * delta for k in range(num_networks)]
+    if num_networks > 1:
+        min_off = _pairwise_min_offset_hz(shifts, base.spacing_hz)
+        worst_overlap = max(0.0, 1.0 - min_off / base.bandwidth_hz)
+        if worst_overlap >= DETECTION_MIN_OVERLAP:
+            raise ValueError(
+                f"{num_networks} networks at this misalignment leave a "
+                f"cross-network overlap of {worst_overlap:.0%}, above the "
+                f"radio detection threshold of {DETECTION_MIN_OVERLAP:.0%}: "
+                "networks would not be isolated"
+            )
+    return SharingPlan(base=base, shifts_hz=tuple(shifts))
+
+
+@dataclass(frozen=True)
+class OperatorAllocation:
+    """One operator's spectrum share: a shifted grid plus channel subset.
+
+    When a region hosts more operators than the misalignment step can
+    isolate, the Master reuses a shift slot but divides that slot's
+    channels disjointly among the operators sharing it — occupancy
+    bookkeeping that keeps every pair of operators either
+    frequency-misaligned or channel-disjoint.
+    """
+
+    slot: int
+    shift_hz: float
+    grid: ChannelGrid
+    channel_indices: Tuple[int, ...]
+
+    def channels(self) -> List[Channel]:
+        """Materialize the operator's usable channels."""
+        return [self.grid.channel(i) for i in self.channel_indices]
+
+
+def allocate_operators(
+    base: ChannelGrid,
+    num_networks: int,
+    overlap_ratio_target: Optional[float] = None,
+) -> List[OperatorAllocation]:
+    """Divide a spectrum block among ``num_networks`` operators.
+
+    First misalignment slots are exhausted (full grids, physically
+    isolated by frequency selectivity); any surplus operators share a
+    slot with disjoint channel subsets (interleaved so each keeps the
+    widest possible frequency span for its gateways).
+    """
+    if num_networks < 1:
+        raise ValueError("need at least one network")
+    min_offset = (1.0 - DETECTION_MIN_OVERLAP) * base.bandwidth_hz
+    # Distinct isolated shifts available inside one spacing period.
+    max_isolated = max(1, int(base.spacing_hz / min_offset + 1e-9))
+    if overlap_ratio_target is not None:
+        delta = (1.0 - overlap_ratio_target) * base.bandwidth_hz
+        if delta < min_offset:
+            raise ValueError(
+                f"an overlap ratio of {overlap_ratio_target:.0%} leaves "
+                f"channels detectable across networks (offset below "
+                f"{min_offset / 1e3:.1f} kHz): no isolation"
+            )
+        # The largest slot count whose folded pairwise offsets all stay
+        # above the detection offset (shift k*delta wraps modulo the
+        # channel spacing, so more slots may fit than spacing/delta).
+        num_slots = 1
+        for cand in range(min(num_networks, max_isolated), 1, -1):
+            shifts = [k * delta for k in range(cand)]
+            if _pairwise_min_offset_hz(shifts, base.spacing_hz) >= (
+                min_offset - 1e-9
+            ):
+                num_slots = cand
+                break
+    else:
+        num_slots = min(num_networks, max_isolated)
+        delta = base.spacing_hz / num_slots
+    per_slot = -(-num_networks // num_slots)  # operators sharing a slot
+    num_channels = base.num_channels
+    if per_slot > num_channels:
+        raise ValueError(
+            f"{num_networks} networks cannot share {num_channels} channels "
+            f"with only {num_slots} isolated slots"
+        )
+
+    allocations: List[OperatorAllocation] = []
+    for op in range(num_networks):
+        slot = op % num_slots
+        share = op // num_slots
+        shares_in_slot = len(range(slot, num_networks, num_slots))
+        # Interleaved subset: share k of m takes channels k, k+m, k+2m...
+        indices = tuple(range(share, num_channels, shares_in_slot))
+        allocations.append(
+            OperatorAllocation(
+                slot=slot,
+                shift_hz=slot * delta,
+                grid=base.shifted(slot * delta),
+                channel_indices=indices,
+            )
+        )
+    return allocations
+
+
+def cross_network_overlap(plan: SharingPlan, slot_a: int, slot_b: int) -> float:
+    """Worst-case channel overlap between two operator slots."""
+    grid_a = plan.grid_for(slot_a)
+    grid_b = plan.grid_for(slot_b)
+    a0 = grid_a.channel(0)
+    best = 0.0
+    for i in range(min(grid_b.num_channels, 3)):
+        best = max(best, overlap_ratio(a0, grid_b.channel(i)))
+    # Also fold the shift into one spacing period for the general bound.
+    d = abs(plan.shifts_hz[slot_a] - plan.shifts_hz[slot_b]) % plan.base.spacing_hz
+    d = min(d, plan.base.spacing_hz - d)
+    return max(best, max(0.0, 1.0 - d / plan.base.bandwidth_hz))

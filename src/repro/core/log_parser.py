@@ -1,0 +1,87 @@
+"""Log parser: recover uplink metadata from ChirpStack operational logs.
+
+The first of AlphaWAN's three network-server modules (section 4.3.3).
+Gateways attach metadata (receive channel, timestamp, SNR) to every
+forwarded packet; ChirpStack stores it as text logs.  The parser turns
+those lines back into :class:`~repro.netserver.records.UplinkRecord`
+objects that feed the traffic estimator and the CP solver.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+from ..netserver.records import UplinkRecord
+
+__all__ = ["ParseStats", "parse_log_line", "parse_log"]
+
+_LINE_RE = re.compile(r"^up\s+(?P<fields>(?:\w+=\S+\s*)+)$")
+_REQUIRED = (
+    "ts", "gw", "net", "dev", "fcnt", "freq", "dr", "snr", "rssi", "size",
+)
+
+
+@dataclass
+class ParseStats:
+    """Accounting of one parsing pass."""
+
+    lines: int = 0
+    parsed: int = 0
+    malformed: int = 0
+
+
+def parse_log_line(line: str) -> Optional[UplinkRecord]:
+    """Parse one ``up`` log line; ``None`` if it is not a valid record."""
+    match = _LINE_RE.match(line.strip())
+    if match is None:
+        return None
+    fields = {}
+    for token in match.group("fields").split():
+        key, _, value = token.partition("=")
+        if not value:
+            return None
+        fields[key] = value
+    if any(key not in fields for key in _REQUIRED):
+        return None
+    try:
+        return UplinkRecord(
+            timestamp_s=float(fields["ts"]),
+            gateway_id=int(fields["gw"]),
+            network_id=int(fields["net"]),
+            node_id=int(fields["dev"]),
+            counter=int(fields["fcnt"]),
+            frequency_hz=float(fields["freq"]),
+            dr=int(fields["dr"]),
+            snr_db=float(fields["snr"]),
+            rssi_dbm=float(fields["rssi"]),
+            payload_bytes=int(fields["size"]),
+        )
+    except ValueError:
+        return None
+
+
+def parse_log(lines: Iterable[str]) -> Tuple[List[UplinkRecord], ParseStats]:
+    """Parse a whole log; skips (and counts) malformed lines.
+
+    Blank lines and non-``up`` lines (ChirpStack interleaves many other
+    event types) are ignored silently; lines that *look* like uplink
+    records but fail validation count as malformed.
+    """
+    records: List[UplinkRecord] = []
+    stats = ParseStats()
+    for line in lines:
+        stripped = line.strip()
+        if not stripped:
+            continue
+        stats.lines += 1
+        if not stripped.startswith("up"):
+            continue
+        record = parse_log_line(stripped)
+        if record is None:
+            stats.malformed += 1
+            continue
+        stats.parsed += 1
+        records.append(record)
+    return records, stats

@@ -1,0 +1,126 @@
+"""The AlphaWAN Master node: regional spectrum-sharing coordinator.
+
+Operators register before deploying infrastructure in a region; the
+Master keeps the channel-occupancy record and answers requests with the
+operator's allocation — a frequency-misaligned channel grid plus, when
+operators outnumber the isolated misalignment slots, a disjoint channel
+subset within the shared slot (section 4.3.2).  The class is
+transport-agnostic — :mod:`.master_server` exposes it over TCP, and
+tests may call it in-process.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..phy.channels import Channel, ChannelGrid
+from .inter_planner import OperatorAllocation, allocate_operators
+
+__all__ = ["Assignment", "MasterNode", "RegionFullError"]
+
+
+class RegionFullError(Exception):
+    """Raised when every operator slot of the region is taken."""
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """A channel assignment issued to one operator."""
+
+    operator: str
+    slot: int
+    shift_hz: float
+    grid: ChannelGrid
+    channel_indices: Tuple[int, ...]
+
+    def channels(self) -> List[Channel]:
+        """The operator's usable channels."""
+        return [self.grid.channel(i) for i in self.channel_indices]
+
+
+class MasterNode:
+    """Centralized channel division and occupancy bookkeeping.
+
+    Args:
+        base_grid: The regional spectrum's channel grid.
+        expected_networks: The Master's estimate of how many networks
+            will coexist in the region; fixes the misalignment step and
+            the channel division.
+        overlap_ratio: Optional explicit adjacent-operator channel
+            overlap ratio (the paper evaluates 20 %, 40 % and 60 %);
+            overrides the uniform division.
+    """
+
+    def __init__(
+        self,
+        base_grid: ChannelGrid,
+        expected_networks: int = 4,
+        overlap_ratio: Optional[float] = None,
+    ) -> None:
+        self.base_grid = base_grid
+        self.allocations: List[OperatorAllocation] = allocate_operators(
+            base_grid, expected_networks, overlap_ratio_target=overlap_ratio
+        )
+        self._lock = threading.Lock()
+        self._assignments: Dict[str, Assignment] = {}
+        self._free: List[int] = list(range(len(self.allocations)))
+
+    def register(self, operator: str) -> Assignment:
+        """Register an operator and hand out its channel allocation.
+
+        Re-registering an operator returns its existing assignment
+        (idempotent, so operators may safely retry over flaky links).
+
+        Raises:
+            RegionFullError: when all allocations are occupied.
+        """
+        if not operator:
+            raise ValueError("operator name must be non-empty")
+        with self._lock:
+            existing = self._assignments.get(operator)
+            if existing is not None:
+                return existing
+            if not self._free:
+                raise RegionFullError(
+                    f"region already hosts {len(self.allocations)} networks"
+                )
+            index = self._free.pop(0)
+            alloc = self.allocations[index]
+            assignment = Assignment(
+                operator=operator,
+                slot=index,
+                shift_hz=alloc.shift_hz,
+                grid=alloc.grid,
+                channel_indices=alloc.channel_indices,
+            )
+            self._assignments[operator] = assignment
+            return assignment
+
+    def release(self, operator: str) -> bool:
+        """Release an operator's allocation; returns whether it was held."""
+        with self._lock:
+            assignment = self._assignments.pop(operator, None)
+            if assignment is None:
+                return False
+            self._free.append(assignment.slot)
+            self._free.sort()
+            return True
+
+    def status(self) -> Dict[str, object]:
+        """Occupancy snapshot of the region."""
+        with self._lock:
+            return {
+                "slots": len(self.allocations),
+                "occupied": len(self._assignments),
+                "free": len(self._free),
+                "operators": {
+                    op: a.slot for op, a in sorted(self._assignments.items())
+                },
+            }
+
+    def assignment_of(self, operator: str) -> Optional[Assignment]:
+        """Look up an operator's current assignment."""
+        with self._lock:
+            return self._assignments.get(operator)

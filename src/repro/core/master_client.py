@@ -1,0 +1,97 @@
+"""Operator-side client of the AlphaWAN Master (TCP).
+
+Runs inside the operator's network server: registers the network,
+obtains the misaligned channel assignment, and can release the slot on
+decommissioning.  Round-trip latency is recorded — it is the
+"operator-to-Master communication" term in the paper's Figure 17.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Dict, Optional, Tuple
+
+from .master import Assignment
+from .protocol import (
+    ProtocolError,
+    assignment_from_wire,
+    read_message,
+    send_message,
+)
+
+__all__ = ["MasterClient", "MasterRequestError"]
+
+
+class MasterRequestError(Exception):
+    """The Master rejected a request (e.g. region full)."""
+
+
+class MasterClient:
+    """A persistent connection to the Master node."""
+
+    def __init__(
+        self, address: Tuple[str, int], timeout_s: float = 5.0
+    ) -> None:
+        self.address = address
+        self.timeout_s = timeout_s
+        self._sock: Optional[socket.socket] = None
+        self.last_rtt_s: Optional[float] = None
+
+    # -- connection management -------------------------------------------
+
+    def connect(self) -> "MasterClient":
+        """Open the TCP connection (idempotent)."""
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                self.address, timeout=self.timeout_s
+            )
+        return self
+
+    def close(self) -> None:
+        """Close the connection."""
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "MasterClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- requests ---------------------------------------------------------
+
+    def _roundtrip(self, message: Dict) -> Dict:
+        self.connect()
+        assert self._sock is not None
+        t0 = time.perf_counter()
+        send_message(self._sock, message)
+        response = read_message(self._sock)
+        self.last_rtt_s = time.perf_counter() - t0
+        if response is None:
+            raise ProtocolError("master closed the connection")
+        if response.get("type") == "error":
+            raise MasterRequestError(response.get("message", "unknown error"))
+        return response
+
+    def register(self, operator: str) -> Assignment:
+        """Register this operator; returns its channel assignment."""
+        response = self._roundtrip({"type": "register", "operator": operator})
+        if response.get("type") != "assignment":
+            raise ProtocolError(f"unexpected response {response.get('type')!r}")
+        return assignment_from_wire(response)
+
+    def release(self, operator: str) -> bool:
+        """Release this operator's slot; True if it was held."""
+        response = self._roundtrip({"type": "release", "operator": operator})
+        if response.get("type") != "released":
+            raise ProtocolError(f"unexpected response {response.get('type')!r}")
+        return bool(response.get("held"))
+
+    def status(self) -> Dict:
+        """Fetch the region occupancy snapshot."""
+        response = self._roundtrip({"type": "status"})
+        if response.get("type") != "status_ok":
+            raise ProtocolError(f"unexpected response {response.get('type')!r}")
+        return {k: v for k, v in response.items() if k != "type"}

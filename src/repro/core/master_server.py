@@ -1,0 +1,128 @@
+"""TCP server exposing the AlphaWAN Master node.
+
+One thread per operator connection; the underlying
+:class:`~repro.core.master.MasterNode` is already thread-safe.  Use as
+a context manager::
+
+    with MasterServer(MasterNode(grid, expected_networks=4)) as server:
+        client = MasterClient(server.address)
+        assignment = client.register("operator-1")
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Dict, Optional, Tuple
+
+from .master import MasterNode, RegionFullError
+from .protocol import (
+    ProtocolError,
+    assignment_to_wire,
+    read_message,
+    send_message,
+)
+
+__all__ = ["MasterServer"]
+
+
+class MasterServer:
+    """Threaded TCP front-end for a :class:`MasterNode`."""
+
+    def __init__(
+        self,
+        master: MasterNode,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.master = master
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(16)
+        self.address: Tuple[str, int] = self._sock.getsockname()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._serve, name="alphawan-master", daemon=True
+        )
+        self._started = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "MasterServer":
+        """Start accepting connections (idempotent)."""
+        if not self._started:
+            self._thread.start()
+            self._started = True
+        return self
+
+    def close(self) -> None:
+        """Stop the server and release the listening socket."""
+        self._stop.set()
+        try:
+            # Unblock accept() with a self-connection.
+            poke = socket.create_connection(self.address, timeout=0.5)
+            poke.close()
+        except OSError:
+            pass
+        self._sock.close()
+        if self._started:
+            self._thread.join(timeout=2.0)
+
+    def __enter__(self) -> "MasterServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request handling --------------------------------------------------
+
+    def _serve(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._sock.accept()
+            except OSError:
+                break
+            if self._stop.is_set():
+                conn.close()
+                break
+            handler = threading.Thread(
+                target=self._handle, args=(conn,), daemon=True
+            )
+            handler.start()
+
+    def _handle(self, conn: socket.socket) -> None:
+        with conn:
+            while True:
+                try:
+                    message = read_message(conn)
+                except (ProtocolError, OSError):
+                    return
+                if message is None:
+                    return
+                try:
+                    response = self._dispatch(message)
+                except (ProtocolError, OSError):
+                    return
+                try:
+                    send_message(conn, response)
+                except OSError:
+                    return
+
+    def _dispatch(self, message: Dict) -> Dict:
+        mtype = message.get("type")
+        if mtype == "register":
+            operator = message.get("operator", "")
+            try:
+                assignment = self.master.register(str(operator))
+            except (ValueError, RegionFullError) as exc:
+                return {"type": "error", "message": str(exc)}
+            return assignment_to_wire(assignment)
+        if mtype == "release":
+            operator = str(message.get("operator", ""))
+            held = self.master.release(operator)
+            return {"type": "released", "operator": operator, "held": held}
+        if mtype == "status":
+            snapshot = self.master.status()
+            return {"type": "status_ok", **snapshot}
+        return {"type": "error", "message": f"unknown message type {mtype!r}"}

@@ -1,0 +1,144 @@
+"""Wire protocol between operators and the AlphaWAN Master.
+
+Length-prefixed JSON over TCP: each message is a 4-byte big-endian
+unsigned length followed by a UTF-8 JSON object.  Message types:
+
+* ``register``   {"type": "register", "operator": str}
+* ``release``    {"type": "release", "operator": str}
+* ``status``     {"type": "status"}
+* ``assignment`` {"type": "assignment", "operator", "slot", "shift_hz",
+  "grid": {"start_hz", "width_hz", "spacing_hz", "bandwidth_hz"}}
+* ``released``   {"type": "released", "operator", "held": bool}
+* ``status_ok``  {"type": "status_ok", ...snapshot}
+* ``error``      {"type": "error", "message": str}
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Dict, Optional
+
+from ..phy.channels import ChannelGrid
+from .master import Assignment
+
+__all__ = [
+    "MAX_MESSAGE_BYTES",
+    "encode_message",
+    "read_message",
+    "send_message",
+    "grid_to_wire",
+    "grid_from_wire",
+    "assignment_to_wire",
+    "assignment_from_wire",
+    "ProtocolError",
+]
+
+MAX_MESSAGE_BYTES = 1 << 20  # 1 MiB: far above any AlphaWAN message
+_HEADER = struct.Struct(">I")
+
+
+class ProtocolError(Exception):
+    """Malformed or oversized protocol traffic."""
+
+
+def encode_message(message: Dict) -> bytes:
+    """Serialize one message to its wire form."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"message of {len(payload)} bytes exceeds limit")
+    return _HEADER.pack(len(payload)) + payload
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Read exactly ``n`` bytes; ``None`` on orderly EOF at a boundary."""
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == n:
+                return None
+            raise ProtocolError("connection closed mid-message")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_message(sock: socket.socket) -> Optional[Dict]:
+    """Read one message from a socket; ``None`` on clean EOF.
+
+    Raises:
+        ProtocolError: on truncation, oversized frames, or bad JSON.
+    """
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds limit")
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise ProtocolError("connection closed before payload")
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"invalid message payload: {exc}")
+    if not isinstance(message, dict):
+        raise ProtocolError("message must be a JSON object")
+    return message
+
+
+def send_message(sock: socket.socket, message: Dict) -> None:
+    """Write one message to a socket."""
+    sock.sendall(encode_message(message))
+
+
+def grid_to_wire(grid: ChannelGrid) -> Dict[str, float]:
+    """Serialize a channel grid."""
+    return {
+        "start_hz": grid.start_hz,
+        "width_hz": grid.width_hz,
+        "spacing_hz": grid.spacing_hz,
+        "bandwidth_hz": grid.bandwidth_hz,
+    }
+
+
+def grid_from_wire(data: Dict) -> ChannelGrid:
+    """Deserialize a channel grid."""
+    try:
+        return ChannelGrid(
+            start_hz=float(data["start_hz"]),
+            width_hz=float(data["width_hz"]),
+            spacing_hz=float(data["spacing_hz"]),
+            bandwidth_hz=float(data["bandwidth_hz"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"invalid grid payload: {exc}")
+
+
+def assignment_to_wire(assignment: Assignment) -> Dict:
+    """Serialize an assignment response."""
+    return {
+        "type": "assignment",
+        "operator": assignment.operator,
+        "slot": assignment.slot,
+        "shift_hz": assignment.shift_hz,
+        "grid": grid_to_wire(assignment.grid),
+        "channel_indices": list(assignment.channel_indices),
+    }
+
+
+def assignment_from_wire(data: Dict) -> Assignment:
+    """Deserialize an assignment response."""
+    try:
+        return Assignment(
+            operator=str(data["operator"]),
+            slot=int(data["slot"]),
+            shift_hz=float(data["shift_hz"]),
+            grid=grid_from_wire(data["grid"]),
+            channel_indices=tuple(int(i) for i in data["channel_indices"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"invalid assignment payload: {exc}")

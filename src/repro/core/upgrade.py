@@ -1,0 +1,100 @@
+"""Capacity-upgrade orchestration and its latency breakdown (Figure 17).
+
+A complete upgrade runs: (optional) operator-to-Master spectrum-sharing
+exchange, CP solving (measured live on this machine), configuration
+distribution over the backhaul (modelled), and gateway reboots
+(modelled, executed in parallel across gateways so the term is the max,
+not the sum).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..phy.channels import Channel
+from ..sim.scenario import Network
+from .agents import GatewayAgent, distribution_latency_s
+from .intra_planner import IntraNetworkPlanner, PlanOutcome
+from .master_client import MasterClient
+
+__all__ = ["LatencyBreakdown", "run_capacity_upgrade"]
+
+
+@dataclass
+class LatencyBreakdown:
+    """Per-segment latency of one capacity upgrade."""
+
+    cp_solving_s: float = 0.0
+    master_comm_s: float = 0.0
+    distribution_s: float = 0.0
+    reboot_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end suspension time (reboots run in parallel)."""
+        return (
+            self.cp_solving_s
+            + self.master_comm_s
+            + self.distribution_s
+            + self.reboot_s
+        )
+
+
+def run_capacity_upgrade(
+    planner: IntraNetworkPlanner,
+    master_client: Optional[MasterClient] = None,
+    operator: Optional[str] = None,
+    agent_seed: int = 0,
+) -> Tuple[PlanOutcome, LatencyBreakdown]:
+    """Execute a full capacity upgrade for one network.
+
+    Args:
+        planner: Intra-network planner for this operator (already
+            pointed at the spectrum to use; when a Master client is
+            given, its assignment overrides the planner's channels).
+        master_client: Optional connection to the AlphaWAN Master for
+            spectrum sharing.
+        operator: Operator name for Master registration (required when
+            ``master_client`` is given).
+        agent_seed: Seed for the modelled gateway-agent latencies.
+
+    Returns:
+        The planning outcome and the latency breakdown.
+    """
+    latency = LatencyBreakdown()
+
+    if master_client is not None:
+        if not operator:
+            raise ValueError("operator name required for spectrum sharing")
+        t0 = time.perf_counter()
+        assignment = master_client.register(operator)
+        latency.master_comm_s = time.perf_counter() - t0
+        planner.channels = assignment.channels()
+
+    outcome = planner.plan()
+    latency.cp_solving_s = outcome.solve_time_s
+
+    network: Network = planner.network
+    configs: List[List[Channel]] = [
+        outcome.solution.gateway_channels(outcome.cp_input, j)
+        for j in range(len(network.gateways))
+    ]
+    latency.distribution_s = distribution_latency_s(configs)
+
+    reboot_times = []
+    for gw, channels in zip(network.gateways, configs):
+        agent = GatewayAgent(gateway=gw, seed=agent_seed)
+        reboot_times.append(agent.apply_config(channels))
+    latency.reboot_s = max(reboot_times) if reboot_times else 0.0
+
+    if planner.config.optimize_nodes:
+        for i, dev in enumerate(network.devices):
+            ch = outcome.cp_input.channels[outcome.solution.node_channels[i]]
+            tier = outcome.cp_input.tiers[outcome.solution.node_tiers[i]]
+            dev.apply_config(
+                channel=ch, dr=tier.dr, tx_power_dbm=tier.tx_power_dbm
+            )
+
+    return outcome, latency

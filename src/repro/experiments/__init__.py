@@ -1,0 +1,44 @@
+"""Experiment drivers: one module per paper figure/table.
+
+Each ``run_*`` function is deterministic under its ``seed`` and returns
+plain dicts of series; the benchmark suite regenerates every table and
+figure through these drivers, and EXPERIMENTS.md records the outputs
+against the paper's numbers.
+"""
+
+from .ablation import run_ablation
+from .disruption import run_disruption
+from .erlang_validation import run_erlang_validation
+from .fig02 import run_fig2a, run_fig2b
+from .fig03 import run_fig3ab, run_fig3cd, run_fig3ef
+from .fig04 import run_fig4a, run_fig4b
+from .fig05 import run_fig5a, run_fig5b
+from .fig06 import run_fig6
+from .fig07 import run_fig7
+from .fig08 import run_fig8
+from .fig12 import run_fig12a, run_fig12b, run_fig12c, run_fig12de
+from .fig13 import run_fig13
+from .fig14 import run_fig14
+from .fig15 import run_fig15
+from .fig16 import run_fig16
+from .fig17 import run_fig17a, run_fig17b
+from .fig18 import run_fig18
+from .fig21 import run_fig21
+from .strategies34 import run_strategy3, run_strategy4
+from .table4 import run_table4
+
+__all__ = [
+    "run_ablation",
+    "run_disruption",
+    "run_erlang_validation",
+    "run_fig2a", "run_fig2b",
+    "run_fig3ab", "run_fig3cd", "run_fig3ef",
+    "run_fig4a", "run_fig4b",
+    "run_fig5a", "run_fig5b",
+    "run_fig6", "run_fig7", "run_fig8",
+    "run_fig12a", "run_fig12b", "run_fig12c", "run_fig12de",
+    "run_fig13", "run_fig14", "run_fig15", "run_fig16",
+    "run_fig17a", "run_fig17b", "run_fig18", "run_fig21",
+    "run_strategy3", "run_strategy4",
+    "run_table4",
+]

@@ -1,0 +1,157 @@
+"""Upgrade disruption: what a live capacity upgrade costs (extension).
+
+The paper reports that an AlphaWAN capacity upgrade suspends the system
+for under 10 seconds and advises scheduling upgrades "during idle or
+designated maintenance periods" (section 5.3.3).  This extension
+quantifies that advice with the online engine: a network upgrading
+*under load* loses the packets that hit rebooting gateways, while the
+same upgrade placed in a short idle window costs almost nothing — and
+both end up with AlphaWAN's higher post-upgrade capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..baselines.standard import apply_standard_lorawan
+from ..core.evolutionary import GAConfig
+from ..core.intra_planner import IntraNetworkPlanner, PlannerConfig
+from ..phy.regions import TESTBED_48
+from ..sim.engine import OnlineSimulator, Reconfiguration
+from ..sim.scenario import Network, assign_tier_by_reach, build_network
+from ..sim.simulator import SimulationResult
+from ..sim.topology import LinkBudget
+from ..types import Transmission
+from .common import TESTBED_AREA_M, emulated_traffic
+
+__all__ = ["run_disruption"]
+
+WINDOW_S = 60.0
+SWITCH_S = 20.0
+IDLE_GAP_S = (18.0, 28.0)
+OUTAGE_S = 4.62
+USERS = 6000
+USER_INTERVAL_S = 32.0
+NUM_DEVICES = 240
+NUM_GATEWAYS = 15
+BUCKET_S = 5.0
+
+
+def _build(seed: int, link: LinkBudget) -> Tuple[Network, Network]:
+    """Two identical deployments: one standard, one AlphaWAN-planned."""
+    grid = TESTBED_48.grid()
+    width, height = TESTBED_AREA_M
+
+    def fresh() -> Network:
+        net = build_network(
+            network_id=1,
+            num_gateways=NUM_GATEWAYS,
+            num_nodes=NUM_DEVICES,
+            channels=grid.channels()[:8],
+            seed=seed,
+            width_m=width,
+            height_m=height,
+        )
+        apply_standard_lorawan(net, grid, seed=seed)
+        assign_tier_by_reach(net, k_nearest=12, spread_seed=seed)
+        return net
+
+    old = fresh()
+    new = fresh()
+    rate_per_device = USERS / USER_INTERVAL_S / NUM_DEVICES
+    traffic = {d.node_id: rate_per_device * 0.25 for d in new.devices}
+    IntraNetworkPlanner(
+        new,
+        grid.channels(),
+        link=link,
+        config=PlannerConfig(
+            ga=GAConfig(population=30, generations=40, seed=seed, patience=15)
+        ),
+        traffic=traffic,
+    ).plan_and_apply()
+    return old, new
+
+
+def _spliced_traffic(
+    old: Network, new: Network, seed: int, idle_gap: bool
+) -> List[Transmission]:
+    """Pre-switch traffic from the old config, post-switch from the new."""
+    kwargs = dict(
+        total_users=USERS,
+        mean_interval_s=USER_INTERVAL_S,
+        window_s=WINDOW_S,
+        seed=seed,
+    )
+    old_txs = [
+        t for t in emulated_traffic(old.devices, **kwargs) if t.start_s < SWITCH_S
+    ]
+    new_txs = [
+        t for t in emulated_traffic(new.devices, **kwargs) if t.start_s >= SWITCH_S
+    ]
+    txs = old_txs + new_txs
+    if idle_gap:
+        lo, hi = IDLE_GAP_S
+        txs = [t for t in txs if not lo <= t.start_s < hi]
+    txs.sort(key=lambda t: t.start_s)
+    return txs
+
+
+def _bucketed_prr(result: SimulationResult) -> List[float]:
+    buckets = int(WINDOW_S // BUCKET_S)
+    offered = [0] * buckets
+    delivered = [0] * buckets
+    for tx in result.transmissions:
+        b = min(int(tx.start_s // BUCKET_S), buckets - 1)
+        offered[b] += 1
+        if result.delivered(tx):
+            delivered[b] += 1
+    return [
+        delivered[b] / offered[b] if offered[b] else 1.0
+        for b in range(buckets)
+    ]
+
+
+def run_disruption(seed: int = 0) -> Dict[str, object]:
+    """PRR timeline for three upgrade policies.
+
+    Arms: ``no_upgrade`` (standard config throughout),
+    ``upgrade_under_load`` (all gateways reboot at t=20 s mid-traffic),
+    and ``upgrade_in_idle_window`` (same upgrade inside a traffic gap).
+    """
+    link = LinkBudget()
+    old, new = _build(seed, link)
+    reconfigs = [
+        Reconfiguration(
+            time_s=SWITCH_S,
+            gateway_id=gw.gateway_id,
+            channels=tuple(new_gw.channels),
+            outage_s=OUTAGE_S,
+        )
+        for gw, new_gw in zip(old.gateways, new.gateways)
+    ]
+
+    out: Dict[str, object] = {"bucket_s": BUCKET_S, "switch_s": SWITCH_S}
+
+    # Arm 1: no upgrade — the old configuration all the way through.
+    kwargs = dict(
+        total_users=USERS,
+        mean_interval_s=USER_INTERVAL_S,
+        window_s=WINDOW_S,
+        seed=seed,
+    )
+    baseline_old, _ = _build(seed, link)
+    sim = OnlineSimulator(baseline_old.gateways, baseline_old.devices, link=link)
+    result = sim.run_online(emulated_traffic(baseline_old.devices, **kwargs))
+    out["no_upgrade"] = _bucketed_prr(result)
+
+    # Arms 2 and 3: upgrade at t=20 s, with and without an idle window.
+    for label, idle in (
+        ("upgrade_under_load", False),
+        ("upgrade_in_idle_window", True),
+    ):
+        arm_old, arm_new = _build(seed, link)
+        txs = _spliced_traffic(arm_old, arm_new, seed, idle_gap=idle)
+        sim = OnlineSimulator(arm_old.gateways, arm_new.devices, link=link)
+        result = sim.run_online(txs, reconfigs)
+        out[label] = _bucketed_prr(result)
+    return out

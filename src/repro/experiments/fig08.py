@@ -1,0 +1,71 @@
+"""Figure 8: packet reception over partially overlapping channels.
+
+Two links on channels with a varying overlap ratio.  With orthogonal
+data rates the master link barely notices the interferer; with
+non-orthogonal (same-SF) settings, reception collapses once the
+channels overlap beyond ~60-70 %, while >=40 % misalignment keeps PRR
+above 80 % — the empirical basis for Strategy 8's misalignment choice.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+from ..phy.channels import Channel
+from ..phy.interference import Interferer, decode_ok
+from ..phy.link import noise_floor_dbm
+from ..phy.lora import SpreadingFactor
+
+__all__ = ["run_fig8"]
+
+
+def run_fig8(
+    seed: int = 0,
+    overlap_ratios: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
+    trials: int = 200,
+) -> Dict[str, List[float]]:
+    """PRR of the master link vs channel-overlap ratio.
+
+    Four coexistence conditions: weak/strong interferer x orthogonal /
+    non-orthogonal data rates.  The master link's SNR is drawn from a
+    healthy range (5..15 dB); the interferer is 5 dB weaker (weak) or
+    10 dB stronger (strong) than the master.
+    """
+    master_sf = SpreadingFactor.SF8  # DR4, as in the paper's setup
+    orth_sf = SpreadingFactor.SF10
+    bw = 125_000.0
+    noise = noise_floor_dbm(bw)
+    master_channel = Channel(923_100_000.0, bw)
+    rng = random.Random(seed)
+
+    conditions = {
+        "weak_orth": (-10.0, orth_sf),
+        "strong_orth": (10.0, orth_sf),
+        "weak_nonorth": (-10.0, master_sf),
+        "strong_nonorth": (10.0, master_sf),
+    }
+    out: Dict[str, List[float]] = {"overlap": list(overlap_ratios)}
+    for name in conditions:
+        out[name] = []
+
+    for overlap in overlap_ratios:
+        intf_channel = master_channel.shifted((1.0 - overlap) * bw)
+        draws = [
+            (rng.uniform(5.0, 15.0), rng.gauss(0.0, 4.0))
+            for _ in range(trials)
+        ]
+        for name, (delta_db, intf_sf) in conditions.items():
+            ok = 0
+            for snr, jitter in draws:
+                rssi = noise + snr
+                interferer = Interferer(
+                    rssi_dbm=rssi + delta_db + jitter,
+                    sf=intf_sf,
+                    channel=intf_channel,
+                    same_network=False,
+                )
+                if decode_ok(rssi, noise, master_sf, master_channel, [interferer]):
+                    ok += 1
+            out[name].append(ok / trials)
+    return out

@@ -1,0 +1,381 @@
+"""Figure 12: AlphaWAN testbed evaluation.
+
+(a) Capacity vs number of gateways: standard LoRaWAN is pinned near 48
+(three homogeneous plan groups x 16 decoders); AlphaWAN grows with
+every added gateway and approaches the 144-user theoretical bound.
+(b) Capacity and per-MHz efficiency vs operating spectrum.
+(c) Contention management: CDF of capacity over random user subsets —
+gateway-side planning helps, node-side cooperation helps more.
+(d, e) Spectrum sharing among 1..6 coexisting networks at 20/40/60 %
+channel overlap: per-network capacity stays high and per-MHz
+efficiency scales with the number of networks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..baselines.random_cp import apply_random_cp
+from ..baselines.standard import apply_standard_lorawan
+from ..core.evolutionary import GAConfig
+from ..core.intra_planner import IntraNetworkPlanner, PlannerConfig
+from ..core.inter_planner import allocate_operators
+from ..phy.channels import ChannelGrid
+from ..phy.lora import DataRate
+from ..phy.regions import TESTBED_16, TESTBED_48
+from ..sim.scenario import (
+    Network,
+    all_combos,
+    assign_orthogonal_combos,
+    assign_random_channels,
+    build_network,
+)
+from ..sim.simulator import Simulator
+from ..sim.topology import LinkBudget
+from ..node.traffic import capacity_burst
+from .common import (
+    TESTBED_AREA_M,
+    lab_link,
+    measure_capacity,
+    stagger_duplicate_powers,
+)
+
+__all__ = [
+    "run_fig12a",
+    "run_fig12b",
+    "run_fig12c",
+    "run_fig12de",
+    "planner_ga",
+]
+
+
+def planner_ga(seed: int, fast: bool = False) -> GAConfig:
+    """GA settings used across the Figure 12 experiments."""
+    if fast:
+        return GAConfig(population=30, generations=40, seed=seed, patience=15)
+    return GAConfig(population=60, generations=120, seed=seed, patience=30)
+
+
+def _alphawan_capacity(
+    net: Network,
+    channels,
+    link: LinkBudget,
+    seed: int,
+    optimize_channel_count: bool = True,
+    fast: bool = False,
+) -> int:
+    planner = IntraNetworkPlanner(
+        net,
+        channels,
+        link=link,
+        config=PlannerConfig(
+            optimize_channel_count=optimize_channel_count,
+            ga=planner_ga(seed, fast=fast),
+        ),
+    )
+    planner.plan_and_apply()
+    result = measure_capacity(net.gateways, net.devices, link=link)
+    return result.delivered_count()
+
+
+def run_fig12a(
+    seed: int = 0,
+    gateway_counts: Sequence[int] = (1, 3, 5, 7, 9, 11, 13, 15),
+    num_nodes: int = 144,
+    fast: bool = False,
+) -> Dict[str, List[int]]:
+    """Capacity vs gateway count for all strategies."""
+    grid = TESTBED_48.grid()
+    chans = grid.channels()
+    width, height = TESTBED_AREA_M
+    link = lab_link(seed)
+    out: Dict[str, List[int]] = {
+        "gateways": list(gateway_counts),
+        "oracle": [],
+        "standard": [],
+        "random_cp": [],
+        "alphawan_no_s1": [],
+        "alphawan_full": [],
+    }
+
+    def fresh(num_gws: int) -> Network:
+        net = build_network(
+            network_id=1,
+            num_gateways=num_gws,
+            num_nodes=num_nodes,
+            channels=chans[:8],
+            seed=seed,
+            width_m=width,
+            height_m=height,
+        )
+        assign_orthogonal_combos(net.devices, chans)
+        return net
+
+    for num_gws in gateway_counts:
+        out["oracle"].append(min(num_nodes, len(chans) * 6))
+
+        net = fresh(num_gws)
+        apply_standard_lorawan(net, grid, seed=seed, randomize_devices=False)
+        out["standard"].append(
+            measure_capacity(net.gateways, net.devices, link=link).delivered_count()
+        )
+
+        net = fresh(num_gws)
+        apply_random_cp(net, chans, seed=seed, randomize_devices=True)
+        out["random_cp"].append(
+            measure_capacity(net.gateways, net.devices, link=link).delivered_count()
+        )
+
+        net = fresh(num_gws)
+        out["alphawan_no_s1"].append(
+            _alphawan_capacity(
+                net, chans, link, seed, optimize_channel_count=False, fast=fast
+            )
+        )
+
+        net = fresh(num_gws)
+        out["alphawan_full"].append(
+            _alphawan_capacity(net, chans, link, seed, fast=fast)
+        )
+    return out
+
+
+def run_fig12b(
+    seed: int = 0,
+    spectrum_channels: Sequence[int] = (8, 16, 24, 32),
+    num_gateways: int = 15,
+    fast: bool = False,
+) -> Dict[str, List]:
+    """Capacity and per-MHz efficiency vs operating spectrum width."""
+    grid = ChannelGrid(start_hz=916_800_000.0, width_hz=32 * 200_000.0)
+    width, height = TESTBED_AREA_M
+    link = lab_link(seed)
+    out: Dict[str, List] = {
+        "spectrum_mhz": [],
+        "standard": [],
+        "random_cp": [],
+        "alphawan_no_s1": [],
+        "alphawan_full": [],
+        "per_mhz_standard": [],
+        "per_mhz_alphawan": [],
+        "per_mhz_random_cp": [],
+    }
+    for num_ch in spectrum_channels:
+        sub = grid.subgrid(num_ch)
+        chans = sub.channels()
+        num_nodes = num_ch * 6
+        mhz = num_ch * 0.2
+        out["spectrum_mhz"].append(mhz)
+
+        def fresh() -> Network:
+            net = build_network(
+                network_id=1,
+                num_gateways=num_gateways,
+                num_nodes=num_nodes,
+                channels=chans[: min(8, len(chans))],
+                seed=seed,
+                width_m=width,
+                height_m=height,
+            )
+            assign_orthogonal_combos(net.devices, chans)
+            return net
+
+        net = fresh()
+        apply_standard_lorawan(net, sub, seed=seed, randomize_devices=False)
+        standard = measure_capacity(
+            net.gateways, net.devices, link=link
+        ).delivered_count()
+
+        net = fresh()
+        apply_random_cp(net, chans, seed=seed, randomize_devices=True)
+        random_cp = measure_capacity(
+            net.gateways, net.devices, link=link
+        ).delivered_count()
+
+        net = fresh()
+        no_s1 = _alphawan_capacity(
+            net, chans, link, seed, optimize_channel_count=False, fast=fast
+        )
+
+        net = fresh()
+        full = _alphawan_capacity(net, chans, link, seed, fast=fast)
+
+        out["standard"].append(standard)
+        out["random_cp"].append(random_cp)
+        out["alphawan_no_s1"].append(no_s1)
+        out["alphawan_full"].append(full)
+        out["per_mhz_standard"].append(standard / mhz)
+        out["per_mhz_random_cp"].append(random_cp / mhz)
+        out["per_mhz_alphawan"].append(full / mhz)
+    return out
+
+
+def run_fig12c(
+    seed: int = 0,
+    trials: int = 12,
+    population: int = 432,
+    burst_size: int = 144,
+    num_gateways: int = 8,
+    fast: bool = True,
+) -> Dict[str, List[int]]:
+    """Contention-management CDF over random concurrent user subsets.
+
+    A three-times oversubscribed population is configured once (by each
+    strategy); every trial samples ``burst_size`` users to transmit
+    concurrently.  Strategies: standard LoRaWAN, AlphaWAN planning
+    gateways only ("w/o node side"), and full AlphaWAN (gateways +
+    node-side channel/DR/power assignments).
+    """
+    grid = TESTBED_48.grid()
+    chans = grid.channels()
+    width, height = TESTBED_AREA_M
+    link = lab_link(seed)
+    out: Dict[str, List[int]] = {
+        "standard": [],
+        "no_node_side": [],
+        "full": [],
+    }
+
+    def fresh() -> Network:
+        net = build_network(
+            network_id=1,
+            num_gateways=num_gateways,
+            num_nodes=population,
+            channels=chans[:8],
+            seed=seed,
+            width_m=width,
+            height_m=height,
+        )
+        assign_random_channels(
+            net.devices, chans, seed=seed, drs=list(DataRate)
+        )
+        return net
+
+    # Standard: homogeneous plans, random device configs.
+    net_std = fresh()
+    apply_standard_lorawan(net_std, grid, seed=seed, randomize_devices=False)
+
+    # Gateway-side planning only.
+    net_gw = fresh()
+    traffic = {dev.node_id: burst_size / population for dev in net_gw.devices}
+    IntraNetworkPlanner(
+        net_gw,
+        chans,
+        link=link,
+        config=PlannerConfig(
+            optimize_nodes=False, ga=planner_ga(seed, fast=fast)
+        ),
+        traffic=traffic,
+    ).plan_and_apply()
+
+    # Full planning (gateways + nodes).
+    net_full = fresh()
+    IntraNetworkPlanner(
+        net_full,
+        chans,
+        link=link,
+        config=PlannerConfig(ga=planner_ga(seed, fast=fast)),
+        traffic=traffic,
+    ).plan_and_apply()
+
+    for trial in range(trials):
+        rng = random.Random(seed * 977 + trial)
+        indices = rng.sample(range(population), burst_size)
+        for label, net in (
+            ("standard", net_std),
+            ("no_node_side", net_gw),
+            ("full", net_full),
+        ):
+            subset = [net.devices[i] for i in indices]
+            sim = Simulator(net.gateways, net.devices, link=link)
+            result = sim.run(capacity_burst(subset))
+            out[label].append(result.delivered_count())
+    return out
+
+
+def run_fig12de(
+    seed: int = 0,
+    network_counts: Sequence[int] = (1, 2, 3, 4, 5, 6),
+    overlap_ratios: Sequence[float] = (0.2, 0.4, 0.6),
+    nodes_per_network: int = 24,
+    gateways_per_network: int = 3,
+    fast: bool = True,
+) -> Dict[str, object]:
+    """Spectrum sharing: per-network capacity and per-MHz efficiency.
+
+    Returns per-network mean capacity for standard LoRaWAN and for
+    AlphaWAN at each misalignment setting, plus per-MHz totals.
+    """
+    base = TESTBED_16.grid()
+    width, height = TESTBED_AREA_M
+    link = lab_link(seed)
+    mhz = base.width_hz / 1e6
+
+    def build_networks(count: int) -> List[Network]:
+        nets = []
+        for k in range(count):
+            nets.append(
+                build_network(
+                    network_id=k + 1,
+                    num_gateways=gateways_per_network,
+                    num_nodes=nodes_per_network,
+                    channels=base.channels(),
+                    seed=seed + 13 * k,
+                    gateway_id_base=100 * k,
+                    node_id_base=10_000 * k,
+                    width_m=width,
+                    height_m=height,
+                )
+            )
+        return nets
+
+    def joint_capacity(nets: List[Network]) -> List[int]:
+        gateways = [gw for n in nets for gw in n.gateways]
+        devices = [d for n in nets for d in n.devices]
+        result = measure_capacity(
+            gateways, devices, link=link, shuffle_seed=seed
+        )
+        return [result.delivered_count(n.network_id) for n in nets]
+
+    results: Dict[str, object] = {
+        "networks": list(network_counts),
+        "standard_per_network": [],
+        "standard_per_mhz": [],
+    }
+    for ratio in overlap_ratios:
+        results[f"alphawan_{int(ratio * 100)}_per_network"] = []
+        results[f"alphawan_{int(ratio * 100)}_per_mhz"] = []
+
+    for count in network_counts:
+        # Standard: every network on the same grid and plans; duplicate
+        # (channel, DR) cells across networks resolve by capture.
+        nets = build_networks(count)
+        for net in nets:
+            assign_orthogonal_combos(net.devices, base.channels())
+        shared = [d for n in nets for d in n.devices]
+        random.Random(seed + 7).shuffle(shared)
+        stagger_duplicate_powers(shared)
+        caps = joint_capacity(nets)
+        results["standard_per_network"].append(sum(caps) / count)
+        results["standard_per_mhz"].append(sum(caps) / mhz)
+
+        # AlphaWAN at each overlap setting.
+        for ratio in overlap_ratios:
+            allocations = allocate_operators(
+                base, count, overlap_ratio_target=ratio
+            )
+            nets = build_networks(count)
+            for net, alloc in zip(nets, allocations):
+                channels = alloc.channels()
+                IntraNetworkPlanner(
+                    net,
+                    channels,
+                    link=link,
+                    config=PlannerConfig(ga=planner_ga(seed, fast=fast)),
+                ).plan_and_apply()
+            caps = joint_capacity(nets)
+            key = f"alphawan_{int(ratio * 100)}"
+            results[f"{key}_per_network"].append(sum(caps) / count)
+            results[f"{key}_per_mhz"].append(sum(caps) / mhz)
+    return results

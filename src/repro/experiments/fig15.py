@@ -1,0 +1,84 @@
+"""Figure 15: fairness among coexisting networks under varying load.
+
+Two networks share a 1.6 MHz band with a 40 % overlap assignment from
+the Master.  Network 1 carries a fixed 48 concurrent users (the
+theoretical capacity of the band); network 2's load sweeps 16..80.
+Both networks keep service ratios above ~90 % up to 48 users; beyond
+that network 2 overloads its own cells (channel contention) while
+network 1 stays largely unaffected — the isolation holds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..core.inter_planner import allocate_operators
+from ..core.intra_planner import IntraNetworkPlanner, PlannerConfig
+from ..phy.regions import TESTBED_16
+from ..sim.metrics import service_ratio
+from ..sim.scenario import build_network
+from ..sim.simulator import Simulator
+from ..node.traffic import capacity_burst
+from .common import TESTBED_AREA_M, lab_link
+from .fig12 import planner_ga
+
+__all__ = ["run_fig15"]
+
+FIXED_NET1_USERS = 48
+GATEWAYS_PER_NETWORK = 3
+
+
+def run_fig15(
+    seed: int = 0,
+    net2_loads: Sequence[int] = (16, 32, 48, 64, 80),
+    fast: bool = True,
+) -> Dict[str, List[float]]:
+    """Service ratios of both networks as network 2's load grows."""
+    base = TESTBED_16.grid()
+    width, height = TESTBED_AREA_M
+    link = lab_link(seed)
+    allocations = allocate_operators(base, 2, overlap_ratio_target=0.4)
+
+    out: Dict[str, List[float]] = {
+        "net2_users": list(net2_loads),
+        "service_net1": [],
+        "service_net2": [],
+    }
+    for idx, net2_users in enumerate(net2_loads):
+        net1 = build_network(
+            network_id=1,
+            num_gateways=GATEWAYS_PER_NETWORK,
+            num_nodes=FIXED_NET1_USERS,
+            channels=base.channels(),
+            seed=seed,
+            width_m=width,
+            height_m=height,
+        )
+        net2 = build_network(
+            network_id=2,
+            num_gateways=GATEWAYS_PER_NETWORK,
+            num_nodes=net2_users,
+            channels=base.channels(),
+            seed=seed + 31 + idx,
+            gateway_id_base=100,
+            node_id_base=10_000,
+            width_m=width,
+            height_m=height,
+        )
+        for net, alloc in ((net1, allocations[0]), (net2, allocations[1])):
+            IntraNetworkPlanner(
+                net,
+                alloc.channels(),
+                link=link,
+                config=PlannerConfig(ga=planner_ga(seed, fast=fast)),
+            ).plan_and_apply()
+        devices = net1.devices + net2.devices
+        import random as _random
+
+        order = list(devices)
+        _random.Random(seed + idx).shuffle(order)
+        sim = Simulator(net1.gateways + net2.gateways, devices, link=link)
+        result = sim.run(capacity_burst(order))
+        out["service_net1"].append(service_ratio(result, 1))
+        out["service_net2"].append(service_ratio(result, 2))
+    return out

@@ -1,0 +1,94 @@
+"""Strategies 3 and 4 (Table 1): adding extra resources.
+
+The paper analyses — but does not adopt — two further remedies: upgrade
+gateways to newer chipsets with more decoders (Strategy 3, e.g. the
+dual-SX1303 RAK7289 with 32 decoders), and expand into new spectrum
+(Strategy 4).  This extension experiment quantifies both with the same
+capacity probe used elsewhere and reproduces the paper's verdicts:
+hardware upgrades raise capacity but require replacing infrastructure,
+and extra spectrum raises *total* capacity without improving per-MHz
+efficiency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..baselines.standard import apply_standard_lorawan
+from ..gateway.models import get_model
+from ..phy.channels import ChannelGrid
+from ..sim.scenario import assign_orthogonal_combos, build_network
+from .common import COMPACT_AREA_M, lab_link, measure_capacity
+
+__all__ = ["run_strategy3", "run_strategy4"]
+
+
+def run_strategy3(seed: int = 0) -> Dict[str, object]:
+    """Upgrade the gateway hardware: 8 -> 16 -> 32 decoders.
+
+    One gateway per model, offered its spectrum's full orthogonal
+    capacity.  Capacity tracks the decoder count — and only reaches the
+    spectrum bound with hardware that does not exist yet.
+    """
+    width, height = COMPACT_AREA_M
+    out: Dict[str, object] = {"model": [], "decoders": [], "capacity": []}
+    for name in ("RAK7246G", "RAK7268CV2", "RAK7289CV2"):
+        model = get_model(name)
+        grid = ChannelGrid(
+            start_hz=916_800_000.0, width_hz=model.rx_spectrum_hz
+        )
+        chans = grid.channels()[: model.max_channels]
+        net = build_network(
+            network_id=1,
+            num_gateways=1,
+            num_nodes=len(chans) * 6,
+            channels=chans,
+            seed=seed,
+            model=model,
+            width_m=width,
+            height_m=height,
+        )
+        assign_orthogonal_combos(net.devices, chans)
+        result = measure_capacity(net.gateways, net.devices, link=lab_link(seed))
+        out["model"].append(name)
+        out["decoders"].append(model.decoders)
+        out["capacity"].append(result.delivered_count())
+    return out
+
+
+def run_strategy4(seed: int = 0) -> Dict[str, List[float]]:
+    """Expand the operating spectrum with unchanged (standard) operation.
+
+    Three homogeneous gateways move from 1.6 MHz to 4.8 MHz: total
+    capacity grows with the number of standard plans, but the per-MHz
+    user capacity — the metric that matters where spectrum is scarce
+    (Figure 18) — does not improve.
+    """
+    width, height = COMPACT_AREA_M
+    out: Dict[str, List[float]] = {
+        "spectrum_mhz": [],
+        "capacity": [],
+        "per_mhz": [],
+    }
+    for num_ch in (8, 16, 24):
+        grid = ChannelGrid(
+            start_hz=916_800_000.0, width_hz=num_ch * 200_000.0
+        )
+        chans = grid.channels()
+        net = build_network(
+            network_id=1,
+            num_gateways=3,
+            num_nodes=num_ch * 6,
+            channels=chans[:8],
+            seed=seed,
+            width_m=width,
+            height_m=height,
+        )
+        apply_standard_lorawan(net, grid, seed=seed, randomize_devices=False)
+        assign_orthogonal_combos(net.devices, chans)
+        result = measure_capacity(net.gateways, net.devices, link=lab_link(seed))
+        mhz = num_ch * 0.2
+        out["spectrum_mhz"].append(mhz)
+        out["capacity"].append(result.delivered_count())
+        out["per_mhz"].append(result.delivered_count() / mhz)
+    return out

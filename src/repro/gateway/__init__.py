@@ -1,0 +1,22 @@
+"""COTS gateway model: detection, FCFS dispatch, finite decoder pool."""
+
+from .decoder import DecoderLease, DecoderPool
+from .detector import Detection, detect, match_rx_channel
+from .dispatcher import DispatchResult, FcfsDispatcher
+from .gateway import Gateway, GatewayReception, Outcome
+from .models import (
+    COTS_CATALOG,
+    DEFAULT_MODEL_NAME,
+    GatewayModel,
+    NUM_ORTHOGONAL_DRS,
+    get_model,
+)
+
+__all__ = [
+    "DecoderLease", "DecoderPool",
+    "Detection", "detect", "match_rx_channel",
+    "DispatchResult", "FcfsDispatcher",
+    "Gateway", "GatewayReception", "Outcome",
+    "COTS_CATALOG", "DEFAULT_MODEL_NAME", "GatewayModel",
+    "NUM_ORTHOGONAL_DRS", "get_model",
+]

@@ -1,0 +1,120 @@
+"""The finite decoder pool of a LoRaWAN gateway.
+
+Semtech SX130x concentrators expose a fixed number of packet decoders
+(8, 16 or 32 depending on the chipset — Table 4).  A decoder is seized
+when the dispatcher admits a packet at its lock-on instant and is
+released when the packet's airtime ends.  When every decoder is busy,
+later packets are dropped: the *decoder contention problem*.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["DecoderLease", "DecoderPool"]
+
+
+@dataclass(frozen=True)
+class DecoderLease:
+    """A successful decoder allocation."""
+
+    decoder_index: int
+    start_s: float
+    release_s: float
+    holder_network_id: int
+    holder_node_id: int
+
+
+class DecoderPool:
+    """A pool of ``capacity`` decoders allocated in lock-on order.
+
+    The pool must be driven with non-decreasing allocation times (the
+    dispatcher guarantees FCFS order); it keeps a min-heap of busy
+    decoders keyed by release time.
+
+    Attributes:
+        capacity: Number of hardware decoders.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"decoder pool needs >= 1 decoder, got {capacity}")
+        self.capacity = capacity
+        # Heap of (release_s, lease) for busy decoders.
+        self._busy: List[Tuple[float, int, DecoderLease]] = []
+        self._free_indices: List[int] = list(range(capacity))
+        self._last_alloc_s = float("-inf")
+        self._seq = 0
+        self.total_allocations = 0
+        self.total_rejections = 0
+        self.busy_time_s = 0.0
+
+    def _reclaim(self, now_s: float) -> None:
+        """Release every decoder whose packet has finished by ``now_s``."""
+        while self._busy and self._busy[0][0] <= now_s:
+            _, _, lease = heapq.heappop(self._busy)
+            heapq.heappush(self._free_indices, lease.decoder_index)
+
+    def busy_count(self, now_s: float) -> int:
+        """Number of decoders occupied at ``now_s`` (after reclaiming)."""
+        self._reclaim(now_s)
+        return self.capacity - len(self._free_indices)
+
+    def holders(self, now_s: float) -> List[DecoderLease]:
+        """Leases of the decoders busy at ``now_s``."""
+        self._reclaim(now_s)
+        return [lease for _, _, lease in self._busy]
+
+    def try_allocate(
+        self,
+        now_s: float,
+        release_s: float,
+        network_id: int,
+        node_id: int,
+    ) -> Optional[DecoderLease]:
+        """Attempt to seize a decoder at ``now_s`` until ``release_s``.
+
+        Returns the lease, or ``None`` when every decoder is occupied
+        (the packet is dropped, never to be retried — COTS gateways have
+        no retry path for a missed lock-on).
+
+        Raises:
+            ValueError: if called with a time earlier than a previous
+                allocation (the dispatcher must process in FCFS order).
+        """
+        if now_s < self._last_alloc_s:
+            raise ValueError(
+                f"allocations must be in FCFS order: {now_s} < {self._last_alloc_s}"
+            )
+        if release_s < now_s:
+            raise ValueError("release time precedes allocation time")
+        self._last_alloc_s = now_s
+        self._reclaim(now_s)
+        if not self._free_indices:
+            self.total_rejections += 1
+            return None
+        index = heapq.heappop(self._free_indices)
+        lease = DecoderLease(
+            decoder_index=index,
+            start_s=now_s,
+            release_s=release_s,
+            holder_network_id=network_id,
+            holder_node_id=node_id,
+        )
+        self._seq += 1
+        heapq.heappush(self._busy, (release_s, self._seq, lease))
+        self.total_allocations += 1
+        self.busy_time_s += release_s - now_s
+        return lease
+
+    def reset(self) -> None:
+        """Return the pool to its initial (all-free) state."""
+        self._busy.clear()
+        self._free_indices = list(range(self.capacity))
+        self._last_alloc_s = float("-inf")
+        self._seq = 0
+        self.total_allocations = 0
+        self.total_rejections = 0
+        self.busy_time_s = 0.0

@@ -1,0 +1,148 @@
+"""Catalog of COTS LoRaWAN gateway models (paper Table 4).
+
+Each entry records the radio resources that bound a gateway's practical
+capacity: receive spectrum width, Rx chains, and — decisively — the
+number of hardware packet decoders.  None of the commercial models has
+enough decoders to cover the theoretical capacity of its spectrum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["GatewayModel", "COTS_CATALOG", "get_model", "NUM_ORTHOGONAL_DRS"]
+
+# Orthogonal data rates usable concurrently per 125 kHz channel (DR0-DR5).
+NUM_ORTHOGONAL_DRS = 6
+
+
+@dataclass(frozen=True)
+class GatewayModel:
+    """Hardware description of a gateway product.
+
+    Attributes:
+        name: Product name.
+        manufacturer: Vendor.
+        chipset: Semtech baseband chipset.
+        rx_spectrum_hz: Maximum simultaneous receive span (``B_j``).
+        rx_chains: Multi-SF receive chains (the "+1" LoRa-service chain
+            in datasheets is listed separately in ``aux_chains``).
+        aux_chains: Single-SF service / FSK chains.
+        decoders: Hardware packet decoders (``C_j``).
+        max_channels: Concurrent receive channels (``P_j``).
+    """
+
+    name: str
+    manufacturer: str
+    chipset: str
+    rx_spectrum_hz: float
+    rx_chains: int
+    aux_chains: int
+    decoders: int
+    max_channels: int
+
+    @property
+    def theoretical_capacity(self) -> int:
+        """Concurrent users the spectrum could carry with unlimited decoders.
+
+        Every 125 kHz channel supports :data:`NUM_ORTHOGONAL_DRS`
+        orthogonal data rates; the aux chains add one stream each
+        (matching the paper's Table 4 figure of 54 for 1.6 MHz radios:
+        8 channels x 6 DRs + 6 for the service chain).
+        """
+        return self.rx_chains * NUM_ORTHOGONAL_DRS + self.aux_chains * NUM_ORTHOGONAL_DRS
+
+    @property
+    def practical_capacity(self) -> int:
+        """Concurrent users actually receivable: the decoder count."""
+        return self.decoders
+
+
+COTS_CATALOG: Dict[str, GatewayModel] = {
+    model.name: model
+    for model in (
+        GatewayModel(
+            name="LPS8N",
+            manufacturer="Dragino",
+            chipset="SX1302",
+            rx_spectrum_hz=1.6e6,
+            rx_chains=8,
+            aux_chains=1,
+            decoders=16,
+            max_channels=8,
+        ),
+        GatewayModel(
+            name="LPS8V2",
+            manufacturer="Dragino",
+            chipset="SX1302",
+            rx_spectrum_hz=1.6e6,
+            rx_chains=8,
+            aux_chains=1,
+            decoders=16,
+            max_channels=8,
+        ),
+        GatewayModel(
+            name="RAK7246G",
+            manufacturer="RAKwireless",
+            chipset="SX1308",
+            rx_spectrum_hz=1.6e6,
+            rx_chains=8,
+            aux_chains=1,
+            decoders=8,
+            max_channels=8,
+        ),
+        GatewayModel(
+            name="RAK7268CV2",
+            manufacturer="RAKwireless",
+            chipset="SX1302",
+            rx_spectrum_hz=1.6e6,
+            rx_chains=8,
+            aux_chains=1,
+            decoders=16,
+            max_channels=8,
+        ),
+        GatewayModel(
+            name="RAK7289CV2",
+            manufacturer="RAKwireless",
+            chipset="SX1303",
+            rx_spectrum_hz=3.2e6,
+            rx_chains=16,
+            aux_chains=2,
+            decoders=32,
+            max_channels=16,
+        ),
+        GatewayModel(
+            name="Wirnet iBTS",
+            manufacturer="Kerlink",
+            chipset="SX1301",
+            rx_spectrum_hz=1.6e6,
+            rx_chains=8,
+            aux_chains=1,
+            decoders=8,
+            max_channels=8,
+        ),
+        GatewayModel(
+            name="Wirnet iFemtoCell",
+            manufacturer="Kerlink",
+            chipset="SX1301",
+            rx_spectrum_hz=1.6e6,
+            rx_chains=8,
+            aux_chains=1,
+            decoders=8,
+            max_channels=8,
+        ),
+    )
+}
+
+# The paper's case-study gateway (section 3.1).
+DEFAULT_MODEL_NAME = "RAK7268CV2"
+
+
+def get_model(name: str = DEFAULT_MODEL_NAME) -> GatewayModel:
+    """Look up a catalog model by product name."""
+    try:
+        return COTS_CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(COTS_CATALOG))
+        raise KeyError(f"unknown gateway model {name!r}; known models: {known}")

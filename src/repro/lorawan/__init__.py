@@ -1,0 +1,33 @@
+"""LoRaWAN MAC substrate: frames, keys, MAC commands, sessions.
+
+The protocol layer AlphaWAN configures devices through — all standard
+LoRaWAN 1.0.x constructs (``NewChannelReq``, ``LinkADRReq``), which is
+what makes the system deployable on unmodified COTS nodes.
+"""
+
+from .frames import DataFrame, FrameError, MType, make_dev_addr, nwk_id_of
+from .join import JoinAccept, JoinRequest, perform_join
+from .keys import MIC_LEN, SessionKeys, compute_mic, derive_session_keys
+from .mac_commands import (
+    CID_LINK_ADR,
+    CID_NEW_CHANNEL,
+    LinkADRAns,
+    LinkADRReq,
+    MacCommandError,
+    NewChannelAns,
+    NewChannelReq,
+    decode_commands,
+    encode_commands,
+)
+from .stack import MAC_PORT, DeviceMac, ServerMac
+
+__all__ = [
+    "DataFrame", "FrameError", "MType", "make_dev_addr", "nwk_id_of",
+    "JoinAccept", "JoinRequest", "perform_join",
+    "MIC_LEN", "SessionKeys", "compute_mic", "derive_session_keys",
+    "CID_LINK_ADR", "CID_NEW_CHANNEL",
+    "LinkADRAns", "LinkADRReq", "MacCommandError",
+    "NewChannelAns", "NewChannelReq",
+    "decode_commands", "encode_commands",
+    "MAC_PORT", "DeviceMac", "ServerMac",
+]

@@ -1,0 +1,175 @@
+"""LoRaWAN PHYPayload framing (uplink/downlink data frames).
+
+Wire format (LoRaWAN 1.0.x data frames)::
+
+    MHDR(1) | FHDR | FPort(0/1) | FRMPayload(0..N) | MIC(4)
+    FHDR = DevAddr(4, little-endian) | FCtrl(1) | FCnt(2, LE) | FOpts(0..15)
+
+The DevAddr's top 7 bits are the network identifier (NwkID) — the field
+a network server uses to discard foreign traffic.  Crucially, and
+exactly as the paper's section 3.1 observes, **none of this is readable
+until the packet has been fully decoded**: filtering cannot happen
+before a decoder has been spent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Optional, Tuple
+
+from .keys import MIC_LEN, compute_mic
+
+__all__ = [
+    "MType",
+    "FrameError",
+    "DataFrame",
+    "make_dev_addr",
+    "nwk_id_of",
+    "MAX_FOPTS_LEN",
+]
+
+MAX_FOPTS_LEN = 15
+
+
+class MType(IntEnum):
+    """Message types (MHDR bits 7..5)."""
+
+    JOIN_REQUEST = 0b000
+    JOIN_ACCEPT = 0b001
+    UNCONFIRMED_UP = 0b010
+    UNCONFIRMED_DOWN = 0b011
+    CONFIRMED_UP = 0b100
+    CONFIRMED_DOWN = 0b101
+
+
+class FrameError(Exception):
+    """Malformed frame bytes or failed integrity check."""
+
+
+def make_dev_addr(nwk_id: int, nwk_addr: int) -> int:
+    """Compose a DevAddr from NwkID (7 bits) and NwkAddr (25 bits)."""
+    if not 0 <= nwk_id < 1 << 7:
+        raise ValueError("NwkID must fit in 7 bits")
+    if not 0 <= nwk_addr < 1 << 25:
+        raise ValueError("NwkAddr must fit in 25 bits")
+    return (nwk_id << 25) | nwk_addr
+
+
+def nwk_id_of(dev_addr: int) -> int:
+    """Extract the network identifier from a DevAddr."""
+    return (dev_addr >> 25) & 0x7F
+
+
+@dataclass(frozen=True)
+class DataFrame:
+    """An (un)confirmed LoRaWAN data frame."""
+
+    mtype: MType
+    dev_addr: int
+    fcnt: int
+    payload: bytes = b""
+    fport: Optional[int] = None
+    fopts: bytes = b""
+    adr: bool = False
+    ack: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mtype in (MType.JOIN_REQUEST, MType.JOIN_ACCEPT):
+            raise ValueError("DataFrame cannot carry join messages")
+        if not 0 <= self.dev_addr < 1 << 32:
+            raise ValueError("DevAddr must fit in 32 bits")
+        if not 0 <= self.fcnt < 1 << 16:
+            raise ValueError("FCnt must fit in 16 bits")
+        if len(self.fopts) > MAX_FOPTS_LEN:
+            raise ValueError(f"FOpts limited to {MAX_FOPTS_LEN} bytes")
+        if self.payload and self.fport is None:
+            raise ValueError("a non-empty payload requires an FPort")
+        if self.fport is not None and not 0 <= self.fport <= 255:
+            raise ValueError("FPort must fit in one byte")
+
+    @property
+    def nwk_id(self) -> int:
+        """The frame's network identifier."""
+        return nwk_id_of(self.dev_addr)
+
+    @property
+    def is_uplink(self) -> bool:
+        """Whether this is an uplink frame."""
+        return self.mtype in (MType.UNCONFIRMED_UP, MType.CONFIRMED_UP)
+
+    # -- wire form --------------------------------------------------------
+
+    def _body(self) -> bytes:
+        mhdr = bytes([(int(self.mtype) << 5)])
+        fctrl = (
+            (0x80 if self.adr else 0)
+            | (0x20 if self.ack else 0)
+            | (len(self.fopts) & 0x0F)
+        )
+        fhdr = (
+            self.dev_addr.to_bytes(4, "little")
+            + bytes([fctrl])
+            + self.fcnt.to_bytes(2, "little")
+            + self.fopts
+        )
+        fport = b"" if self.fport is None else bytes([self.fport])
+        return mhdr + fhdr + fport + self.payload
+
+    def encode(self, nwk_s_key: bytes) -> bytes:
+        """Serialize and sign the frame."""
+        body = self._body()
+        return body + compute_mic(nwk_s_key, body)
+
+    @property
+    def wire_size(self) -> int:
+        """PHYPayload length in bytes (header + payload + MIC)."""
+        return len(self._body()) + MIC_LEN
+
+    # -- parsing ----------------------------------------------------------
+
+    @classmethod
+    def decode(
+        cls, data: bytes, nwk_s_key: Optional[bytes] = None
+    ) -> "DataFrame":
+        """Parse frame bytes; verifies the MIC when a key is supplied.
+
+        Raises:
+            FrameError: on truncation, bad fields, or MIC mismatch.
+        """
+        if len(data) < 1 + 7 + MIC_LEN:
+            raise FrameError("frame too short")
+        body, mic = data[:-MIC_LEN], data[-MIC_LEN:]
+        if nwk_s_key is not None and compute_mic(nwk_s_key, body) != mic:
+            raise FrameError("MIC verification failed")
+        mtype_bits = body[0] >> 5
+        try:
+            mtype = MType(mtype_bits)
+        except ValueError:
+            raise FrameError(f"unknown message type {mtype_bits:#05b}")
+        if mtype in (MType.JOIN_REQUEST, MType.JOIN_ACCEPT):
+            raise FrameError("not a data frame")
+        dev_addr = int.from_bytes(body[1:5], "little")
+        fctrl = body[5]
+        fopts_len = fctrl & 0x0F
+        fcnt = int.from_bytes(body[6:8], "little")
+        cursor = 8
+        if len(body) < cursor + fopts_len:
+            raise FrameError("FOpts truncated")
+        fopts = body[cursor : cursor + fopts_len]
+        cursor += fopts_len
+        fport: Optional[int] = None
+        payload = b""
+        if cursor < len(body):
+            fport = body[cursor]
+            payload = body[cursor + 1 :]
+        return cls(
+            mtype=mtype,
+            dev_addr=dev_addr,
+            fcnt=fcnt,
+            payload=payload,
+            fport=fport,
+            fopts=fopts,
+            adr=bool(fctrl & 0x80),
+            ack=bool(fctrl & 0x20),
+        )

@@ -1,0 +1,154 @@
+"""Over-the-air activation: JoinRequest / JoinAccept wire frames.
+
+Completes the MAC substrate's commissioning story: a device broadcasts
+a ``JoinRequest`` (on the reserved join channels that every LoRaWAN
+must support — paper Appendix B), the join server validates its MIC
+under the root AppKey, and answers with a ``JoinAccept`` carrying the
+network's JoinNonce, NetID, and the assigned DevAddr, from which both
+sides derive the session keys of :mod:`.keys`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .frames import FrameError, MType, make_dev_addr
+from .keys import MIC_LEN, SessionKeys, compute_mic, derive_session_keys
+
+__all__ = ["JoinRequest", "JoinAccept", "perform_join"]
+
+
+@dataclass(frozen=True)
+class JoinRequest:
+    """The device's activation request.
+
+    Wire format: ``MHDR(1) | JoinEUI(8, LE) | DevEUI(8, LE) |
+    DevNonce(2, LE) | MIC(4)`` — MIC computed under the root AppKey.
+    """
+
+    join_eui: int
+    dev_eui: int
+    dev_nonce: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.join_eui < 1 << 64:
+            raise ValueError("JoinEUI must fit in 8 bytes")
+        if not 0 <= self.dev_eui < 1 << 64:
+            raise ValueError("DevEUI must fit in 8 bytes")
+        if not 0 <= self.dev_nonce < 1 << 16:
+            raise ValueError("DevNonce must fit in 2 bytes")
+
+    def _body(self) -> bytes:
+        mhdr = bytes([int(MType.JOIN_REQUEST) << 5])
+        return (
+            mhdr
+            + self.join_eui.to_bytes(8, "little")
+            + self.dev_eui.to_bytes(8, "little")
+            + self.dev_nonce.to_bytes(2, "little")
+        )
+
+    def encode(self, app_key: bytes) -> bytes:
+        """Serialize and sign under the root AppKey."""
+        body = self._body()
+        return body + compute_mic(app_key, body)
+
+    @classmethod
+    def decode(cls, data: bytes, app_key: Optional[bytes] = None) -> "JoinRequest":
+        """Parse a JoinRequest; verifies the MIC when a key is given."""
+        if len(data) != 1 + 18 + MIC_LEN:
+            raise FrameError("JoinRequest has a fixed 23-byte length")
+        if data[0] >> 5 != int(MType.JOIN_REQUEST):
+            raise FrameError("not a JoinRequest")
+        body, mic = data[:-MIC_LEN], data[-MIC_LEN:]
+        if app_key is not None and compute_mic(app_key, body) != mic:
+            raise FrameError("JoinRequest MIC verification failed")
+        return cls(
+            join_eui=int.from_bytes(data[1:9], "little"),
+            dev_eui=int.from_bytes(data[9:17], "little"),
+            dev_nonce=int.from_bytes(data[17:19], "little"),
+        )
+
+
+@dataclass(frozen=True)
+class JoinAccept:
+    """The network's activation answer.
+
+    Wire format: ``MHDR(1) | JoinNonce(3, LE) | NetID(3, LE) |
+    DevAddr(4, LE) | MIC(4)`` (DLSettings/RxDelay/CFList omitted — the
+    reproduction configures channels through NewChannelReq instead).
+    """
+
+    join_nonce: int
+    net_id: int
+    dev_addr: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.join_nonce < 1 << 24:
+            raise ValueError("JoinNonce must fit in 3 bytes")
+        if not 0 <= self.net_id < 1 << 24:
+            raise ValueError("NetID must fit in 3 bytes")
+        if not 0 <= self.dev_addr < 1 << 32:
+            raise ValueError("DevAddr must fit in 4 bytes")
+
+    def _body(self) -> bytes:
+        mhdr = bytes([int(MType.JOIN_ACCEPT) << 5])
+        return (
+            mhdr
+            + self.join_nonce.to_bytes(3, "little")
+            + self.net_id.to_bytes(3, "little")
+            + self.dev_addr.to_bytes(4, "little")
+        )
+
+    def encode(self, app_key: bytes) -> bytes:
+        """Serialize and sign under the root AppKey."""
+        body = self._body()
+        return body + compute_mic(app_key, body)
+
+    @classmethod
+    def decode(cls, data: bytes, app_key: Optional[bytes] = None) -> "JoinAccept":
+        """Parse a JoinAccept; verifies the MIC when a key is given."""
+        if len(data) != 1 + 10 + MIC_LEN:
+            raise FrameError("JoinAccept has a fixed 15-byte length")
+        if data[0] >> 5 != int(MType.JOIN_ACCEPT):
+            raise FrameError("not a JoinAccept")
+        body, mic = data[:-MIC_LEN], data[-MIC_LEN:]
+        if app_key is not None and compute_mic(app_key, body) != mic:
+            raise FrameError("JoinAccept MIC verification failed")
+        return cls(
+            join_nonce=int.from_bytes(data[1:4], "little"),
+            net_id=int.from_bytes(data[4:7], "little"),
+            dev_addr=int.from_bytes(data[7:11], "little"),
+        )
+
+
+def perform_join(
+    app_key: bytes,
+    dev_eui: int,
+    dev_nonce: int,
+    nwk_id: int,
+    nwk_addr: int,
+    join_nonce: int,
+    join_eui: int = 0,
+) -> Tuple[bytes, bytes, SessionKeys]:
+    """Run the full over-the-air activation exchange.
+
+    Returns the request bytes, the accept bytes, and the session keys
+    both sides derive — the device from the parsed accept, the server
+    from its own state; they are identical by construction, which the
+    tests assert.
+    """
+    request = JoinRequest(
+        join_eui=join_eui, dev_eui=dev_eui, dev_nonce=dev_nonce
+    ).encode(app_key)
+    parsed_req = JoinRequest.decode(request, app_key=app_key)
+    accept = JoinAccept(
+        join_nonce=join_nonce,
+        net_id=nwk_id,
+        dev_addr=make_dev_addr(nwk_id, nwk_addr),
+    ).encode(app_key)
+    parsed_acc = JoinAccept.decode(accept, app_key=app_key)
+    keys = derive_session_keys(
+        app_key, parsed_req.dev_nonce, parsed_acc.join_nonce
+    )
+    return request, accept, keys

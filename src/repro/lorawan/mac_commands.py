@@ -1,0 +1,217 @@
+"""LoRaWAN MAC commands used by AlphaWAN's configuration path.
+
+AlphaWAN deliberately restricts itself to standard downlink commands so
+COTS devices need no modification (paper section 4.3.3):
+
+* ``LinkADRReq`` / ``LinkADRAns`` — set data rate, TX power, and the
+  channel mask (which of the network's channels a device may use);
+* ``NewChannelReq`` / ``NewChannelAns`` — create or move a channel
+  (frequency + DR range), the command operators use to install the
+  Master's misaligned channel plans.
+
+Commands travel in the FOpts field (or FPort 0 payload) of data frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple, Union
+
+__all__ = [
+    "CID_LINK_ADR",
+    "CID_NEW_CHANNEL",
+    "LinkADRReq",
+    "LinkADRAns",
+    "NewChannelReq",
+    "NewChannelAns",
+    "encode_commands",
+    "decode_commands",
+    "MacCommandError",
+]
+
+CID_LINK_ADR = 0x03
+CID_NEW_CHANNEL = 0x07
+
+_FREQ_STEP_HZ = 100.0  # frequency fields are in units of 100 Hz
+
+
+class MacCommandError(Exception):
+    """Malformed MAC command bytes."""
+
+
+@dataclass(frozen=True)
+class LinkADRReq:
+    """Set a device's data rate, TX power index, and channel mask."""
+
+    data_rate: int
+    tx_power_index: int
+    channel_mask: int  # 16-bit bitmap over the device's channel list
+    nb_trans: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.data_rate <= 15:
+            raise ValueError("data rate index must fit in 4 bits")
+        if not 0 <= self.tx_power_index <= 15:
+            raise ValueError("TX power index must fit in 4 bits")
+        if not 0 <= self.channel_mask < 1 << 16:
+            raise ValueError("channel mask must fit in 16 bits")
+        if not 1 <= self.nb_trans <= 15:
+            raise ValueError("NbTrans must be 1..15")
+
+    def encode(self) -> bytes:
+        dr_txp = (self.data_rate << 4) | self.tx_power_index
+        redundancy = self.nb_trans & 0x0F
+        return bytes([CID_LINK_ADR, dr_txp]) + self.channel_mask.to_bytes(
+            2, "little"
+        ) + bytes([redundancy])
+
+    def enabled_channels(self) -> List[int]:
+        """Channel indices enabled by the mask."""
+        return [i for i in range(16) if self.channel_mask & (1 << i)]
+
+
+@dataclass(frozen=True)
+class LinkADRAns:
+    """Device acknowledgement of a LinkADRReq."""
+
+    channel_mask_ok: bool = True
+    data_rate_ok: bool = True
+    power_ok: bool = True
+
+    def encode(self) -> bytes:
+        status = (
+            (0x01 if self.channel_mask_ok else 0)
+            | (0x02 if self.data_rate_ok else 0)
+            | (0x04 if self.power_ok else 0)
+        )
+        return bytes([CID_LINK_ADR, status])
+
+    @property
+    def accepted(self) -> bool:
+        """Whether every part of the request was accepted."""
+        return self.channel_mask_ok and self.data_rate_ok and self.power_ok
+
+
+@dataclass(frozen=True)
+class NewChannelReq:
+    """Create/update channel ``index`` at ``frequency_hz``."""
+
+    index: int
+    frequency_hz: float
+    min_dr: int = 0
+    max_dr: int = 5
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index <= 255:
+            raise ValueError("channel index must fit in one byte")
+        if not 0 < self.frequency_hz < (1 << 24) * _FREQ_STEP_HZ:
+            raise ValueError("frequency out of encodable range")
+        if not 0 <= self.min_dr <= self.max_dr <= 15:
+            raise ValueError("invalid DR range")
+
+    def encode(self) -> bytes:
+        freq = round(self.frequency_hz / _FREQ_STEP_HZ)
+        dr_range = (self.max_dr << 4) | self.min_dr
+        return bytes([CID_NEW_CHANNEL, self.index]) + freq.to_bytes(
+            3, "little"
+        ) + bytes([dr_range])
+
+
+@dataclass(frozen=True)
+class NewChannelAns:
+    """Device acknowledgement of a NewChannelReq."""
+
+    frequency_ok: bool = True
+    dr_range_ok: bool = True
+
+    def encode(self) -> bytes:
+        status = (0x01 if self.frequency_ok else 0) | (
+            0x02 if self.dr_range_ok else 0
+        )
+        return bytes([CID_NEW_CHANNEL, status])
+
+    @property
+    def accepted(self) -> bool:
+        """Whether the channel was installed."""
+        return self.frequency_ok and self.dr_range_ok
+
+
+Command = Union[LinkADRReq, LinkADRAns, NewChannelReq, NewChannelAns]
+
+
+def encode_commands(commands: Sequence[Command]) -> bytes:
+    """Concatenate MAC commands into an FOpts/FPort-0 blob."""
+    return b"".join(c.encode() for c in commands)
+
+
+def decode_commands(data: bytes, uplink: bool) -> List[Command]:
+    """Parse a MAC command blob.
+
+    Args:
+        data: Raw command bytes.
+        uplink: True when parsing device->server commands (answers);
+            False for server->device requests.
+
+    Raises:
+        MacCommandError: on unknown CIDs or truncated commands.
+    """
+    out: List[Command] = []
+    i = 0
+    while i < len(data):
+        cid = data[i]
+        if cid == CID_LINK_ADR and not uplink:
+            if i + 5 > len(data):
+                raise MacCommandError("LinkADRReq truncated")
+            dr_txp = data[i + 1]
+            mask = int.from_bytes(data[i + 2 : i + 4], "little")
+            redundancy = data[i + 4]
+            out.append(
+                LinkADRReq(
+                    data_rate=dr_txp >> 4,
+                    tx_power_index=dr_txp & 0x0F,
+                    channel_mask=mask,
+                    nb_trans=max(redundancy & 0x0F, 1),
+                )
+            )
+            i += 5
+        elif cid == CID_LINK_ADR and uplink:
+            if i + 2 > len(data):
+                raise MacCommandError("LinkADRAns truncated")
+            status = data[i + 1]
+            out.append(
+                LinkADRAns(
+                    channel_mask_ok=bool(status & 0x01),
+                    data_rate_ok=bool(status & 0x02),
+                    power_ok=bool(status & 0x04),
+                )
+            )
+            i += 2
+        elif cid == CID_NEW_CHANNEL and not uplink:
+            if i + 6 > len(data):
+                raise MacCommandError("NewChannelReq truncated")
+            index = data[i + 1]
+            freq = int.from_bytes(data[i + 2 : i + 5], "little") * _FREQ_STEP_HZ
+            dr_range = data[i + 5]
+            out.append(
+                NewChannelReq(
+                    index=index,
+                    frequency_hz=freq,
+                    min_dr=dr_range & 0x0F,
+                    max_dr=dr_range >> 4,
+                )
+            )
+            i += 6
+        elif cid == CID_NEW_CHANNEL and uplink:
+            if i + 2 > len(data):
+                raise MacCommandError("NewChannelAns truncated")
+            status = data[i + 1]
+            out.append(
+                NewChannelAns(
+                    frequency_ok=bool(status & 0x01),
+                    dr_range_ok=bool(status & 0x02),
+                )
+            )
+            i += 2
+        else:
+            raise MacCommandError(f"unknown MAC command CID {cid:#04x}")
+    return out

@@ -1,0 +1,212 @@
+"""Device- and server-side MAC sessions: join, uplinks, configuration.
+
+Ties the frame codec and MAC commands to the simulation objects: a
+:class:`DeviceMac` wraps an :class:`~repro.node.device.EndDevice` and
+applies received ``NewChannelReq``/``LinkADRReq`` commands to its radio
+configuration; a :class:`ServerMac` manages per-device sessions on the
+network server, builds configuration downlinks, and validates uplinks
+(MIC + NwkID) the way ChirpStack does — *after* the gateway has already
+spent a decoder on the packet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..node.adr import POWER_STEPS_DBM
+from ..node.device import EndDevice
+from ..phy.channels import Channel
+from ..phy.lora import DataRate
+from .frames import DataFrame, FrameError, MType, make_dev_addr, nwk_id_of
+from .keys import SessionKeys, derive_session_keys
+from .mac_commands import (
+    LinkADRAns,
+    LinkADRReq,
+    MacCommandError,
+    NewChannelAns,
+    NewChannelReq,
+    decode_commands,
+    encode_commands,
+)
+
+__all__ = ["DeviceMac", "ServerMac", "MAC_PORT"]
+
+# FPort 0 is reserved for MAC commands in the FRMPayload.
+MAC_PORT = 0
+
+
+@dataclass
+class DeviceMac:
+    """Device-side MAC state: session keys, channel table, counters."""
+
+    device: EndDevice
+    keys: SessionKeys
+    dev_addr: int
+    fcnt_up: int = 0
+    channel_table: Dict[int, Channel] = field(default_factory=dict)
+
+    def build_uplink(self, payload: bytes, fport: int = 1) -> bytes:
+        """Frame an application uplink (increments the counter)."""
+        frame = DataFrame(
+            mtype=MType.UNCONFIRMED_UP,
+            dev_addr=self.dev_addr,
+            fcnt=self.fcnt_up,
+            payload=payload,
+            fport=fport,
+        )
+        self.fcnt_up += 1
+        return frame.encode(self.keys.nwk_s_key)
+
+    def handle_downlink(self, data: bytes) -> bytes:
+        """Verify a downlink, apply its MAC commands, return the answers.
+
+        Implements the device half of the AlphaWAN configuration path:
+        ``NewChannelReq`` installs channel-table entries and
+        ``LinkADRReq`` selects the active channel (first enabled in the
+        mask), data rate, and TX power.
+
+        Raises:
+            FrameError: if the frame fails parsing or MIC verification.
+        """
+        frame = DataFrame.decode(data, nwk_s_key=self.keys.nwk_s_key)
+        if frame.dev_addr != self.dev_addr:
+            raise FrameError("downlink addressed to another device")
+        commands = frame.fopts
+        if frame.fport == MAC_PORT and frame.payload:
+            commands = commands + frame.payload
+        answers: List = []
+        for cmd in decode_commands(commands, uplink=False):
+            if isinstance(cmd, NewChannelReq):
+                self.channel_table[cmd.index] = Channel(cmd.frequency_hz)
+                answers.append(NewChannelAns())
+            elif isinstance(cmd, LinkADRReq):
+                answers.append(self._apply_link_adr(cmd))
+        reply = DataFrame(
+            mtype=MType.UNCONFIRMED_UP,
+            dev_addr=self.dev_addr,
+            fcnt=self.fcnt_up,
+            payload=encode_commands(answers),
+            fport=MAC_PORT,
+            ack=True,
+        )
+        self.fcnt_up += 1
+        return reply.encode(self.keys.nwk_s_key)
+
+    def _apply_link_adr(self, cmd: LinkADRReq) -> LinkADRAns:
+        enabled = [
+            i for i in cmd.enabled_channels() if i in self.channel_table
+        ]
+        if not enabled:
+            return LinkADRAns(channel_mask_ok=False)
+        if cmd.data_rate > 5:
+            return LinkADRAns(data_rate_ok=False)
+        if cmd.tx_power_index >= len(POWER_STEPS_DBM):
+            return LinkADRAns(power_ok=False)
+        self.device.apply_config(
+            channel=self.channel_table[enabled[0]],
+            dr=DataRate(cmd.data_rate),
+            tx_power_dbm=POWER_STEPS_DBM[cmd.tx_power_index],
+        )
+        return LinkADRAns()
+
+
+class ServerMac:
+    """Server-side MAC sessions for one network."""
+
+    def __init__(self, nwk_id: int) -> None:
+        if not 0 <= nwk_id < 1 << 7:
+            raise ValueError("NwkID must fit in 7 bits")
+        self.nwk_id = nwk_id
+        self._sessions: Dict[int, Tuple[SessionKeys, EndDevice]] = {}
+        self._fcnt_down: Dict[int, int] = {}
+        self._join_nonce = 0
+
+    # -- commissioning ----------------------------------------------------
+
+    def join(self, device: EndDevice, app_key: bytes, dev_nonce: int) -> DeviceMac:
+        """Run the join procedure: derive keys, assign a DevAddr."""
+        self._join_nonce += 1
+        keys = derive_session_keys(app_key, dev_nonce, self._join_nonce)
+        dev_addr = make_dev_addr(self.nwk_id, device.node_id & ((1 << 25) - 1))
+        self._sessions[dev_addr] = (keys, device)
+        self._fcnt_down[dev_addr] = 0
+        return DeviceMac(device=device, keys=keys, dev_addr=dev_addr)
+
+    def session_count(self) -> int:
+        """Number of joined devices."""
+        return len(self._sessions)
+
+    # -- downlink construction ---------------------------------------------
+
+    def build_config_downlink(
+        self,
+        dev_addr: int,
+        channels: Sequence[Channel],
+        dr: DataRate,
+        tx_power_dbm: float,
+    ) -> bytes:
+        """Frame the MAC commands that retune one device.
+
+        Installs the given channels into table slots 0..N-1, then sends
+        a ``LinkADRReq`` enabling them with the requested data rate and
+        the closest TX-power step.
+        """
+        keys, _device = self._lookup(dev_addr)
+        commands: List = [
+            NewChannelReq(index=i, frequency_hz=c.center_hz)
+            for i, c in enumerate(channels)
+        ]
+        mask = (1 << len(channels)) - 1
+        power_index = min(
+            range(len(POWER_STEPS_DBM)),
+            key=lambda i: abs(POWER_STEPS_DBM[i] - tx_power_dbm),
+        )
+        commands.append(
+            LinkADRReq(
+                data_rate=int(dr),
+                tx_power_index=power_index,
+                channel_mask=mask,
+            )
+        )
+        fcnt = self._fcnt_down[dev_addr]
+        self._fcnt_down[dev_addr] = fcnt + 1
+        frame = DataFrame(
+            mtype=MType.UNCONFIRMED_DOWN,
+            dev_addr=dev_addr,
+            fcnt=fcnt,
+            payload=encode_commands(commands),
+            fport=MAC_PORT,
+            adr=True,
+        )
+        return frame.encode(keys.nwk_s_key)
+
+    # -- uplink validation ---------------------------------------------------
+
+    def validate_uplink(self, data: bytes) -> Optional[DataFrame]:
+        """Parse an uplink; returns the frame iff it belongs here.
+
+        Foreign-network frames (wrong NwkID) and frames failing the MIC
+        are rejected with ``None`` — the post-decode filtering stage of
+        the paper's pipeline.
+        """
+        try:
+            peek = DataFrame.decode(data)  # structure only, no key yet
+        except FrameError:
+            return None
+        if nwk_id_of(peek.dev_addr) != self.nwk_id:
+            return None
+        entry = self._sessions.get(peek.dev_addr)
+        if entry is None:
+            return None
+        keys, _device = entry
+        try:
+            return DataFrame.decode(data, nwk_s_key=keys.nwk_s_key)
+        except FrameError:
+            return None
+
+    def _lookup(self, dev_addr: int) -> Tuple[SessionKeys, EndDevice]:
+        entry = self._sessions.get(dev_addr)
+        if entry is None:
+            raise KeyError(f"no session for DevAddr {dev_addr:#010x}")
+        return entry

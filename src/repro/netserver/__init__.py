@@ -1,0 +1,6 @@
+"""ChirpStack-like network server: dedup, logging, config distribution."""
+
+from .records import LOG_FIELDS, UplinkRecord, format_log_line
+from .server import NetworkServer
+
+__all__ = ["LOG_FIELDS", "UplinkRecord", "format_log_line", "NetworkServer"]

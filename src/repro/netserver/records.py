@@ -1,0 +1,70 @@
+"""Uplink metadata records and the operational log format.
+
+Gateways forward received packets to the network server together with
+reception metadata (channel, timestamp, SNR).  ChirpStack stores this
+metadata in operational logs; AlphaWAN's log parser re-extracts it to
+feed the traffic estimator and the CP solver (section 4.3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["UplinkRecord", "format_log_line", "LOG_FIELDS"]
+
+LOG_FIELDS = (
+    "ts",
+    "gw",
+    "net",
+    "dev",
+    "fcnt",
+    "freq",
+    "dr",
+    "snr",
+    "rssi",
+    "size",
+)
+
+
+@dataclass(frozen=True)
+class UplinkRecord:
+    """One received uplink as logged by the network server."""
+
+    timestamp_s: float
+    gateway_id: int
+    network_id: int
+    node_id: int
+    counter: int
+    frequency_hz: float
+    dr: int
+    snr_db: float
+    rssi_dbm: float
+    payload_bytes: int
+
+    def key(self) -> tuple:
+        """Dedup key: one uplink may arrive via several gateways."""
+        return (self.network_id, self.node_id, self.counter)
+
+
+def format_log_line(record: UplinkRecord) -> str:
+    """Serialize a record into the ChirpStack-style key=value log line.
+
+    Example::
+
+        up ts=12.345678 gw=3 net=1 dev=42 fcnt=7 freq=923100000 dr=5 \
+snr=8.25 rssi=-97.50 size=10
+    """
+    return (
+        "up "
+        f"ts={record.timestamp_s:.6f} "
+        f"gw={record.gateway_id} "
+        f"net={record.network_id} "
+        f"dev={record.node_id} "
+        f"fcnt={record.counter} "
+        f"freq={record.frequency_hz:.0f} "
+        f"dr={record.dr} "
+        f"snr={record.snr_db:.2f} "
+        f"rssi={record.rssi_dbm:.2f} "
+        f"size={record.payload_bytes}"
+    )

@@ -1,0 +1,145 @@
+"""The LoRaWAN network server (ChirpStack stand-in).
+
+Responsibilities modelled: ingesting per-gateway receptions, dedup of
+multi-gateway copies, operational logging (consumed by AlphaWAN's log
+parser), and pushing downlink configuration — channel creation and ADR
+MAC commands — to gateways and end devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..gateway.gateway import Gateway, GatewayReception, Outcome
+from ..node.device import EndDevice
+from ..phy.channels import Channel
+from ..phy.lora import DataRate
+from .records import UplinkRecord, format_log_line
+
+__all__ = ["NetworkServer"]
+
+
+class NetworkServer:
+    """Network server for one operator network.
+
+    Args:
+        network_id: The operator network this server manages.
+        gateways: Gateways registered to this server.
+        devices: Subscribed end devices.
+    """
+
+    def __init__(
+        self,
+        network_id: int,
+        gateways: Sequence[Gateway] = (),
+        devices: Sequence[EndDevice] = (),
+    ) -> None:
+        self.network_id = network_id
+        self.gateways: List[Gateway] = []
+        self.devices: Dict[int, EndDevice] = {}
+        for gw in gateways:
+            self.register_gateway(gw)
+        for dev in devices:
+            self.register_device(dev)
+        self.records: List[UplinkRecord] = []
+        self._seen: Set[tuple] = set()
+        self.duplicates = 0
+
+    def register_gateway(self, gateway: Gateway) -> None:
+        """Attach a gateway to this server."""
+        if gateway.network_id != self.network_id:
+            raise ValueError(
+                f"gateway {gateway.gateway_id} belongs to network "
+                f"{gateway.network_id}, not {self.network_id}"
+            )
+        self.gateways.append(gateway)
+
+    def register_device(self, device: EndDevice) -> None:
+        """Subscribe an end device."""
+        if device.network_id != self.network_id:
+            raise ValueError(
+                f"device {device.node_id} belongs to network "
+                f"{device.network_id}, not {self.network_id}"
+            )
+        self.devices[device.node_id] = device
+
+    # ------------------------------------------------------------------
+    # Uplink path
+    # ------------------------------------------------------------------
+
+    def ingest(self, receptions: Iterable[GatewayReception]) -> List[UplinkRecord]:
+        """Ingest gateway receptions; returns the newly deduped uplinks.
+
+        Only successfully received own-network packets produce records;
+        multi-gateway copies of the same uplink are collapsed (the first
+        copy wins, as in ChirpStack's dedup window).
+        """
+        fresh: List[UplinkRecord] = []
+        for rec in receptions:
+            if rec.outcome is not Outcome.RECEIVED:
+                continue
+            tx = rec.transmission
+            if tx.network_id != self.network_id:
+                continue
+            record = UplinkRecord(
+                timestamp_s=rec.lock_on_s if rec.lock_on_s is not None else tx.start_s,
+                gateway_id=rec.gateway_id,
+                network_id=tx.network_id,
+                node_id=tx.node_id,
+                counter=tx.counter,
+                frequency_hz=tx.channel.center_hz,
+                dr=int(tx.params.dr),
+                snr_db=rec.snr_db if rec.snr_db is not None else 0.0,
+                rssi_dbm=0.0 if rec.snr_db is None else rec.snr_db - 120.0,
+                payload_bytes=tx.payload_bytes,
+            )
+            self.records.append(record)
+            key = record.key()
+            if key in self._seen:
+                self.duplicates += 1
+                continue
+            self._seen.add(key)
+            fresh.append(record)
+        return fresh
+
+    def log_lines(self) -> List[str]:
+        """The operational log (every gateway copy, not deduped)."""
+        return [format_log_line(r) for r in self.records]
+
+    def received_node_ids(self) -> Set[int]:
+        """Nodes with at least one delivered uplink."""
+        return {r.node_id for r in self.records}
+
+    # ------------------------------------------------------------------
+    # Downlink path (configuration distribution)
+    # ------------------------------------------------------------------
+
+    def configure_gateway(self, gateway_id: int, channels: Sequence[Channel]) -> None:
+        """Push a channel configuration to one gateway (reboots it)."""
+        for gw in self.gateways:
+            if gw.gateway_id == gateway_id:
+                gw.configure(channels)
+                gw.reboot()
+                return
+        raise KeyError(f"no gateway {gateway_id} on network {self.network_id}")
+
+    def configure_device(
+        self,
+        node_id: int,
+        channel: Optional[Channel] = None,
+        dr: Optional[DataRate] = None,
+        tx_power_dbm: Optional[float] = None,
+    ) -> None:
+        """Send ADR / channel MAC commands to one device."""
+        try:
+            dev = self.devices[node_id]
+        except KeyError:
+            raise KeyError(f"no device {node_id} on network {self.network_id}")
+        dev.apply_config(channel=channel, dr=dr, tx_power_dbm=tx_power_dbm)
+
+    def clear(self) -> None:
+        """Drop logs and dedup state (new measurement epoch)."""
+        self.records.clear()
+        self._seen.clear()
+        self.duplicates = 0

@@ -1,0 +1,87 @@
+"""Standard LoRaWAN Adaptive Data Rate (ADR).
+
+Implements the canonical network-side ADR algorithm (LoRaWAN 1.1 /
+ChirpStack flavour): from the best SNR observed across recent uplinks,
+compute the link margin and greedily raise the data rate (then lower
+transmit power) until the margin is spent.
+
+The paper's section 4.2.3 shows this algorithm aggressively shrinks
+cells — >90 % of nodes end on DR5 in their local network (53.7 % on
+TTN) — which under-utilizes the orthogonal data-rate space.  AlphaWAN's
+Strategy 7 replaces the greedy assignment with the CP optimization but
+reuses the same downlink commands modelled here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..phy.lora import DataRate, DR_TO_SF, SNR_THRESHOLD_DB
+
+__all__ = ["AdrDecision", "adr_decision", "ADR_MARGIN_DB", "POWER_STEPS_DBM"]
+
+# Installation margin used by the standard algorithm.
+ADR_MARGIN_DB = 10.0
+
+# TX power ladder (dBm), highest first; ADR steps down this ladder once
+# the data rate is maxed out.
+POWER_STEPS_DBM: Tuple[float, ...] = (14.0, 12.0, 10.0, 8.0, 6.0, 4.0, 2.0)
+
+_DB_PER_STEP = 3.0
+
+
+@dataclass(frozen=True)
+class AdrDecision:
+    """Result of one ADR evaluation."""
+
+    dr: DataRate
+    tx_power_dbm: float
+    steps_used: int
+
+
+def adr_decision(
+    best_snr_db: float,
+    current_dr: DataRate = DataRate.DR0,
+    current_power_dbm: float = POWER_STEPS_DBM[0],
+    margin_db: float = ADR_MARGIN_DB,
+) -> AdrDecision:
+    """Run the standard ADR computation for one device.
+
+    Args:
+        best_snr_db: Maximum SNR among the device's recent uplinks
+            (across all gateways that heard it).
+        current_dr: Device's current data rate.
+        current_power_dbm: Device's current transmit power.
+        margin_db: Installation margin.
+
+    Returns:
+        The new (data rate, TX power) assignment.
+    """
+    dr = DataRate(current_dr)
+    required = SNR_THRESHOLD_DB[DR_TO_SF[dr]]
+    snr_margin = best_snr_db - required - margin_db
+    nsteps = int(snr_margin // _DB_PER_STEP)
+    steps_used = 0
+
+    # Phase 1: raise the data rate while steps remain.
+    while nsteps > 0 and dr < DataRate.DR5:
+        dr = DataRate(dr + 1)
+        nsteps -= 1
+        steps_used += 1
+
+    # Phase 2: lower transmit power with the remaining steps.
+    power = min(POWER_STEPS_DBM, key=lambda p: abs(p - current_power_dbm))
+    ladder = list(POWER_STEPS_DBM)
+    idx = ladder.index(power)
+    while nsteps > 0 and idx + 1 < len(ladder):
+        idx += 1
+        nsteps -= 1
+        steps_used += 1
+    # Negative margin: step power back up (never above the ladder top).
+    while nsteps < 0 and idx > 0:
+        idx -= 1
+        nsteps += 1
+        steps_used += 1
+
+    return AdrDecision(dr=dr, tx_power_dbm=ladder[idx], steps_used=steps_used)

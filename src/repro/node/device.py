@@ -1,0 +1,82 @@
+"""LoRaWAN end devices.
+
+An end device owns its radio configuration (channel, data rate, transmit
+power) — the knobs that standard ADR and AlphaWAN's channel planning
+adjust via downlink MAC commands — and mints :class:`Transmission`
+objects when it sends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..phy.channels import Channel
+from ..phy.link import Position
+from ..phy.lora import DataRate, DR_TO_SF, SpreadingFactor
+from ..types import Transmission
+
+__all__ = ["EndDevice"]
+
+
+@dataclass
+class EndDevice:
+    """An IoT end node subscribed to one operator network.
+
+    Attributes:
+        node_id: Unique identifier within the deployment.
+        network_id: Operator network (determines the frame sync word).
+        position: Physical location.
+        channel: Current uplink channel.
+        dr: Current data rate.
+        tx_power_dbm: Current transmit power.
+        payload_bytes: Application payload size per uplink.
+        duty_cycle: Fraction of time the node may be on air (regulatory
+            1 % by default).
+    """
+
+    node_id: int
+    network_id: int
+    position: Position
+    channel: Channel
+    dr: DataRate = DataRate.DR0
+    tx_power_dbm: float = 14.0
+    payload_bytes: int = 10
+    duty_cycle: float = 0.01
+    _counter: int = field(default=0, repr=False)
+
+    @property
+    def sf(self) -> SpreadingFactor:
+        """Spreading factor implied by the current data rate."""
+        return DR_TO_SF[self.dr]
+
+    def apply_config(
+        self,
+        channel: Optional[Channel] = None,
+        dr: Optional[DataRate] = None,
+        tx_power_dbm: Optional[float] = None,
+    ) -> None:
+        """Apply a downlink (ADR / channel) MAC command."""
+        if channel is not None:
+            self.channel = channel
+        if dr is not None:
+            self.dr = DataRate(dr)
+        if tx_power_dbm is not None:
+            if tx_power_dbm <= 0:
+                raise ValueError("transmit power must be positive dBm")
+            self.tx_power_dbm = tx_power_dbm
+
+    def transmit(self, start_s: float) -> Transmission:
+        """Send one uplink starting at ``start_s``."""
+        tx = Transmission(
+            node_id=self.node_id,
+            network_id=self.network_id,
+            channel=self.channel,
+            sf=self.sf,
+            start_s=start_s,
+            payload_bytes=self.payload_bytes,
+            tx_power_dbm=self.tx_power_dbm,
+            counter=self._counter,
+        )
+        self._counter += 1
+        return tx

@@ -1,0 +1,88 @@
+"""LoRa physical-layer substrate: modulation, channels, links, interference.
+
+Public surface of the PHY package; see the individual modules for the
+detailed models.  Everything here is deterministic under a seed.
+"""
+
+from .lora import (
+    CodingRate,
+    DataRate,
+    DR_TO_SF,
+    LoRaParams,
+    SF_TO_DR,
+    SNR_THRESHOLD_DB,
+    SpreadingFactor,
+    bitrate_bps,
+    preamble_duration_s,
+    snr_threshold_db,
+    symbol_time_s,
+    time_on_air_s,
+)
+from .channels import (
+    Channel,
+    ChannelGrid,
+    ChannelPlan,
+    overlap_hz,
+    overlap_ratio,
+    standard_plans,
+)
+from .link import (
+    DEFAULT_TIERS,
+    DirectionalAntenna,
+    DistanceTier,
+    LogDistancePathLoss,
+    PathLossModel,
+    Position,
+    max_range_m,
+    noise_floor_dbm,
+    sensitivity_dbm,
+    snr_db,
+    tier_for_distance,
+)
+from .interference import (
+    CAPTURE_THRESHOLD_DB,
+    CO_SF_CAPTURE_DB,
+    DETECTION_MIN_OVERLAP,
+    Interferer,
+    capture_threshold_db,
+    decode_ok,
+    is_detectable,
+    orthogonal,
+    overlap_rejection_db,
+    sf_isolation_db,
+    sinr_db,
+)
+from .regions import (
+    AS923,
+    Band,
+    EU868,
+    REGULATORY_DB,
+    RegionSpectrum,
+    TESTBED_16,
+    TESTBED_48,
+    US915,
+    band_grid,
+    spectrum_cdf,
+)
+
+__all__ = [
+    # lora
+    "CodingRate", "DataRate", "DR_TO_SF", "LoRaParams", "SF_TO_DR",
+    "SNR_THRESHOLD_DB", "SpreadingFactor", "bitrate_bps",
+    "preamble_duration_s", "snr_threshold_db", "symbol_time_s",
+    "time_on_air_s",
+    # channels
+    "Channel", "ChannelGrid", "ChannelPlan", "overlap_hz", "overlap_ratio",
+    "standard_plans",
+    # link
+    "DEFAULT_TIERS", "DirectionalAntenna", "DistanceTier",
+    "LogDistancePathLoss", "PathLossModel", "Position", "max_range_m",
+    "noise_floor_dbm", "sensitivity_dbm", "snr_db", "tier_for_distance",
+    # interference
+    "CAPTURE_THRESHOLD_DB", "CO_SF_CAPTURE_DB", "DETECTION_MIN_OVERLAP",
+    "Interferer", "capture_threshold_db", "decode_ok", "is_detectable",
+    "orthogonal", "overlap_rejection_db", "sf_isolation_db", "sinr_db",
+    # regions
+    "AS923", "Band", "EU868", "REGULATORY_DB", "RegionSpectrum",
+    "TESTBED_16", "TESTBED_48", "US915", "band_grid", "spectrum_cdf",
+]

@@ -1,0 +1,42 @@
+"""Discrete-event network simulation over the gateway/node substrates."""
+
+from .metrics import (
+    CollisionIndex,
+    LossBreakdown,
+    LossCause,
+    classify_loss,
+    loss_breakdown,
+    service_ratio,
+    spectrum_utilization,
+    throughput_bps,
+)
+from .scenario import (
+    Network,
+    all_combos,
+    assign_orthogonal_combos,
+    assign_plan_homogeneous,
+    assign_random_channels,
+    assign_tier_by_reach,
+    build_network,
+)
+from .engine import OnlineSimulator, Reconfiguration
+from .simulator import SimulationResult, Simulator, tx_key
+from .topology import (
+    AREA_HEIGHT_M,
+    AREA_WIDTH_M,
+    LinkBudget,
+    grid_positions,
+    uniform_positions,
+)
+
+__all__ = [
+    "CollisionIndex", "LossBreakdown", "LossCause", "classify_loss", "loss_breakdown",
+    "service_ratio", "spectrum_utilization", "throughput_bps",
+    "Network", "all_combos", "assign_orthogonal_combos",
+    "assign_plan_homogeneous", "assign_random_channels",
+    "assign_tier_by_reach", "build_network",
+    "OnlineSimulator", "Reconfiguration",
+    "SimulationResult", "Simulator", "tx_key",
+    "AREA_HEIGHT_M", "AREA_WIDTH_M", "LinkBudget", "grid_positions",
+    "uniform_positions",
+]

@@ -1,0 +1,210 @@
+"""Online (event-driven) simulation with mid-run reconfigurations.
+
+The batch :class:`~repro.sim.simulator.Simulator` evaluates a window
+under a fixed configuration.  This engine additionally processes
+*reconfiguration events*: at a given instant a gateway applies a new
+channel set and reboots, going dark for the reboot duration — in-flight
+packets are aborted and packets locking on during the outage are lost.
+This is what the paper's Figure 17 calls the *system suspension* of a
+capacity upgrade, and what its advice to "schedule upgrades during idle
+periods" is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..gateway.detector import detect
+from ..gateway.gateway import Gateway, GatewayReception, Outcome
+from ..phy.channels import Channel
+from ..phy.interference import decode_ok
+from ..phy.link import noise_floor_dbm
+from ..types import Observation, Transmission
+from .simulator import SimulationResult, Simulator, tx_key
+
+__all__ = ["Reconfiguration", "OnlineSimulator", "OFFLINE_OUTCOME"]
+
+# Packets that hit a rebooting gateway: modelled as a front-end outage.
+OFFLINE_OUTCOME = Outcome.CHANNEL_MISMATCH
+
+
+@dataclass(frozen=True)
+class Reconfiguration:
+    """Apply new channels to a gateway at ``time_s`` and reboot it."""
+
+    time_s: float
+    gateway_id: int
+    channels: Tuple[Channel, ...]
+    outage_s: float = 4.62  # the measured mean reboot time (Fig. 17)
+
+    def __post_init__(self) -> None:
+        if self.outage_s < 0:
+            raise ValueError("outage must be non-negative")
+        if not self.channels:
+            raise ValueError("a reconfiguration needs at least one channel")
+
+
+class OnlineSimulator(Simulator):
+    """Batch simulator extended with timed gateway reconfigurations."""
+
+    def run_online(
+        self,
+        transmissions: Sequence[Transmission],
+        reconfigurations: Sequence[Reconfiguration] = (),
+    ) -> SimulationResult:
+        """Simulate a window during which gateways may reconfigure.
+
+        Device-side configuration changes are the caller's concern (the
+        transmissions already carry their channels); this engine owns
+        the gateway-side timeline: channel set switches and reboot
+        outages.
+        """
+        result = SimulationResult(
+            transmissions=list(transmissions), gateways=self.gateways
+        )
+        for tx in transmissions:
+            result.receptions.setdefault(tx_key(tx), [])
+        reconfig_by_gw: Dict[int, List[Reconfiguration]] = {}
+        for rc in reconfigurations:
+            reconfig_by_gw.setdefault(rc.gateway_id, []).append(rc)
+        for gw in self.gateways:
+            obs = self.observations_at(gw, transmissions)
+            events = sorted(
+                reconfig_by_gw.get(gw.gateway_id, []), key=lambda r: r.time_s
+            )
+            for record in self._run_gateway(gw, obs, events):
+                result.receptions[tx_key(record.transmission)].append(record)
+        return result
+
+    def _run_gateway(
+        self,
+        gw: Gateway,
+        observations: Sequence[Observation],
+        reconfigs: List[Reconfiguration],
+    ) -> List[GatewayReception]:
+        """Process one gateway's timeline: lock-ons + reconfigurations."""
+        gw.pool.reset()
+        index = gw._build_time_index(observations)
+        noise_figure = gw.noise_figure_db
+
+        # Timeline state.
+        channels = list(gw.channels)
+        offline_until = float("-inf")
+        pending = list(reconfigs)
+        pending_idx = 0
+
+        ordered = sorted(
+            observations,
+            key=lambda o: (
+                o.transmission.lock_on_s,
+                o.transmission.network_id,
+                o.transmission.node_id,
+            ),
+        )
+        out: List[GatewayReception] = []
+        in_flight: List[Tuple[float, int]] = []  # (end_s, index into out)
+        for obs in ordered:
+            tx = obs.transmission
+            now = tx.lock_on_s
+            # Apply reconfigurations due before this lock-on.
+            while pending_idx < len(pending) and pending[pending_idx].time_s <= now:
+                rc = pending[pending_idx]
+                pending_idx += 1
+                channels = list(rc.channels)
+                gw.configure(channels)
+                gw.reboot()  # aborts in-flight receptions (pool reset)
+                offline_until = rc.time_s + rc.outage_s
+                # Receptions still on air when the radio restarts are lost.
+                for end_s, idx in in_flight:
+                    if end_s > rc.time_s:
+                        aborted = out[idx]
+                        out[idx] = GatewayReception(
+                            gateway_id=aborted.gateway_id,
+                            transmission=aborted.transmission,
+                            outcome=OFFLINE_OUTCOME,
+                            rx_channel=aborted.rx_channel,
+                            snr_db=aborted.snr_db,
+                            lock_on_s=aborted.lock_on_s,
+                        )
+                in_flight = []
+
+            if now < offline_until:
+                out.append(
+                    GatewayReception(
+                        gateway_id=gw.gateway_id,
+                        transmission=tx,
+                        outcome=OFFLINE_OUTCOME,
+                    )
+                )
+                continue
+
+            det = detect(obs, channels, noise_figure_db=noise_figure)
+            if det is None:
+                from ..gateway.detector import match_rx_channel
+
+                outcome = (
+                    Outcome.CHANNEL_MISMATCH
+                    if match_rx_channel(tx.channel, channels) is None
+                    else Outcome.BELOW_SENSITIVITY
+                )
+                out.append(
+                    GatewayReception(
+                        gateway_id=gw.gateway_id,
+                        transmission=tx,
+                        outcome=outcome,
+                    )
+                )
+                continue
+
+            lease = gw.pool.try_allocate(
+                det.lock_on_s, tx.end_s, tx.network_id, tx.node_id
+            )
+            if lease is None:
+                out.append(
+                    GatewayReception(
+                        gateway_id=gw.gateway_id,
+                        transmission=tx,
+                        outcome=Outcome.NO_DECODER,
+                        rx_channel=det.rx_channel,
+                        snr_db=det.snr_db,
+                        lock_on_s=det.lock_on_s,
+                        blocker_network_ids=tuple(
+                            l.holder_network_id
+                            for l in gw.pool.holders(det.lock_on_s)
+                        ),
+                    )
+                )
+                continue
+
+            noise = noise_floor_dbm(tx.channel.bandwidth_hz, noise_figure)
+            if gw.collision_resilient:
+                ok = True
+            else:
+                ok = decode_ok(
+                    obs.rssi_dbm,
+                    noise,
+                    tx.sf,
+                    det.rx_channel,
+                    gw._interferers_for(det, index),
+                )
+            if not ok:
+                outcome = Outcome.DECODE_FAILED
+            elif tx.network_id != gw.network_id:
+                outcome = Outcome.FILTERED_FOREIGN
+            else:
+                outcome = Outcome.RECEIVED
+            out.append(
+                GatewayReception(
+                    gateway_id=gw.gateway_id,
+                    transmission=tx,
+                    outcome=outcome,
+                    rx_channel=det.rx_channel,
+                    snr_db=det.snr_db,
+                    lock_on_s=det.lock_on_s,
+                )
+            )
+            in_flight.append((tx.end_s, len(out) - 1))
+            # Drop finished receptions from the in-flight watchlist.
+            in_flight = [(e, i) for e, i in in_flight if e > now]
+        return out

@@ -1,0 +1,6 @@
+"""CLI tools: run and render the paper reproductions."""
+
+from .ascii_chart import bar_chart, line_chart
+from .cli import EXPERIMENTS, main
+
+__all__ = ["bar_chart", "line_chart", "EXPERIMENTS", "main"]

@@ -1,0 +1,78 @@
+"""Dependency-free ASCII charts for experiment series.
+
+Benchmarks and the CLI render reproduced figures as terminal plots —
+no matplotlib required (the reference environment is offline).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+__all__ = ["bar_chart", "line_chart"]
+
+_MARKS = "ox+*#@%&"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one row per label."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not labels:
+        return "(no data)"
+    top = max(max(values), 1e-12)
+    label_w = max(len(str(l)) for l in labels)
+    rows = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(int(round(value / top * width)), 0)
+        rows.append(f"{str(label):>{label_w}} | {bar} {value:g}{unit}")
+    return "\n".join(rows)
+
+
+def line_chart(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Multi-series scatter/line chart on a character grid."""
+    if not series:
+        return "(no data)"
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} does not align with xs")
+    all_y = [y for ys in series.values() for y in ys]
+    y_min = min(min(all_y), 0.0)
+    y_max = max(max(all_y), y_min + 1e-12)
+    x_min, x_max = min(xs), max(xs)
+    x_span = max(x_max - x_min, 1e-12)
+    y_span = y_max - y_min
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, ys) in enumerate(series.items()):
+        mark = _MARKS[idx % len(_MARKS)]
+        for x, y in zip(xs, ys):
+            col = int(round((x - x_min) / x_span * (width - 1)))
+            row = int(round((y - y_min) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_max:10.6g} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{y_min:10.6g} +" + "-" * width)
+    lines.append(
+        " " * 12 + f"{x_min:<10.6g}" + " " * max(width - 20, 1) + f"{x_max:>10.6g}"
+    )
+    legend = "  ".join(
+        f"{_MARKS[i % len(_MARKS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

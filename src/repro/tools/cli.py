@@ -1,0 +1,179 @@
+"""Command-line interface: list, run, and render paper experiments.
+
+Usage::
+
+    python -m repro.tools list
+    python -m repro.tools run fig12a --seed 3 --json out.json
+    python -m repro.tools render fig2a
+
+``run`` executes an experiment driver and prints (or saves) its series
+as JSON; ``render`` additionally draws the headline series as an ASCII
+chart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import json
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .. import experiments
+from .ascii_chart import bar_chart, line_chart
+
+__all__ = ["main", "EXPERIMENTS"]
+
+# name -> (driver, one-line description)
+EXPERIMENTS: Dict[str, tuple] = {
+    "fig2a": (experiments.run_fig2a, "capacity gap: received vs concurrency"),
+    "fig2b": (experiments.run_fig2b, "two coexisting networks share the 16-cap"),
+    "fig3ab": (experiments.run_fig3ab, "FCFS lock-on order (schemes a/b)"),
+    "fig3cd": (experiments.run_fig3cd, "SNR / crowdedness do not matter"),
+    "fig3ef": (experiments.run_fig3ef, "foreign packets consume decoders"),
+    "fig4a": (experiments.run_fig4a, "loss causes vs user scale"),
+    "fig4b": (experiments.run_fig4b, "loss causes vs coexisting networks"),
+    "fig5a": (experiments.run_fig5a, "fewer channels per gateway"),
+    "fig5b": (experiments.run_fig5b, "heterogeneous channel configs"),
+    "fig6": (experiments.run_fig6, "ADR cell shrinkage and DR skew"),
+    "fig7": (experiments.run_fig7, "directional antennas"),
+    "fig8": (experiments.run_fig8, "PRR vs channel overlap"),
+    "fig12a": (experiments.run_fig12a, "capacity vs gateway count"),
+    "fig12b": (experiments.run_fig12b, "capacity vs spectrum"),
+    "fig12c": (experiments.run_fig12c, "contention-management CDF"),
+    "fig12de": (experiments.run_fig12de, "spectrum sharing, 1-6 networks"),
+    "fig13": (experiments.run_fig13, "scaled ops vs state of the art"),
+    "fig14": (experiments.run_fig14, "partial adoption"),
+    "fig15": (experiments.run_fig15, "fairness under load"),
+    "fig16": (experiments.run_fig16, "reception thresholds"),
+    "fig17a": (experiments.run_fig17a, "upgrade latency vs scale"),
+    "fig17b": (experiments.run_fig17b, "upgrade latency, coexisting nets"),
+    "fig18": (experiments.run_fig18, "regulatory spectrum CDF"),
+    "fig21": (experiments.run_fig21, "53-week expansion"),
+    "table4": (experiments.run_table4, "COTS gateway capacities"),
+    "ablation": (experiments.run_ablation, "planner component ablation"),
+    "disruption": (experiments.run_disruption, "live-upgrade disruption (ext.)"),
+    "erlang": (experiments.run_erlang_validation, "decoder loss vs Erlang-B (ext.)"),
+    "strategy3": (experiments.run_strategy3, "hardware upgrade (ext.)"),
+    "strategy4": (experiments.run_strategy4, "more spectrum (ext.)"),
+}
+
+
+def _call_driver(name: str, seed: int, fast: Optional[bool]):
+    driver, _ = EXPERIMENTS[name]
+    kwargs = {}
+    params = inspect.signature(driver).parameters
+    if "seed" in params:
+        kwargs["seed"] = seed
+    if fast is not None and "fast" in params:
+        kwargs["fast"] = fast
+    return driver(**kwargs)
+
+
+def _render(name: str, result) -> str:
+    """Best-effort ASCII rendering of an experiment's headline series."""
+    if name == "fig2a":
+        return line_chart(
+            result["n"],
+            {k: result[k] for k in ("oracle", "gw1", "gw3")},
+            title="received packets vs offered concurrency",
+        )
+    if name == "fig12a":
+        keys = ("oracle", "standard", "random_cp", "alphawan_full")
+        return line_chart(
+            result["gateways"],
+            {k: result[k] for k in keys},
+            title="concurrent-user capacity vs gateways",
+        )
+    if name == "fig13":
+        return line_chart(
+            result["users"],
+            {k: v for k, v in result["prr"].items()},
+            title="PRR vs emulated users",
+        )
+    if name == "fig21":
+        weeks = result["week"]
+        return line_chart(
+            weeks,
+            result["prr"],
+            title="weekly PRR over the expansion year",
+        )
+    if name == "table4":
+        return bar_chart(
+            [row["model"] for row in result],
+            [row["measured_capacity"] for row in result],
+            unit=" users",
+        )
+    if name == "fig5a":
+        return bar_chart(
+            [f"{c} ch/GW" for c in result["channels_per_gw"]],
+            result["capacity"],
+            unit=" users",
+        )
+    if name == "ablation":
+        return bar_chart(list(result), list(result.values()), unit=" users")
+    # Generic fallbacks.
+    if isinstance(result, dict):
+        scalars = {
+            k: v for k, v in result.items() if isinstance(v, (int, float))
+        }
+        if scalars:
+            return bar_chart(list(scalars), list(scalars.values()))
+    return "(no renderer for this experiment; use `run` for raw JSON)"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro.tools",
+        description="Run and render the AlphaWAN paper reproductions.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_p = sub.add_parser("run", help="run an experiment, print JSON")
+    run_p.add_argument("name", choices=sorted(EXPERIMENTS))
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--json", dest="json_path", default=None)
+    run_p.add_argument(
+        "--full",
+        action="store_true",
+        help="use the full (slow) solver settings where applicable",
+    )
+
+    render_p = sub.add_parser("render", help="run and draw an ASCII chart")
+    render_p.add_argument("name", choices=sorted(EXPERIMENTS))
+    render_p.add_argument("--seed", type=int, default=0)
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        width = max(len(n) for n in EXPERIMENTS)
+        for name in sorted(EXPERIMENTS):
+            print(f"{name:<{width}}  {EXPERIMENTS[name][1]}")
+        return 0
+
+    fast = None
+    if args.command == "run":
+        fast = not args.full
+        result = _call_driver(args.name, args.seed, fast)
+        payload = json.dumps(result, indent=2, default=str)
+        if args.json_path:
+            with open(args.json_path, "w") as fh:
+                fh.write(payload + "\n")
+            print(f"wrote {args.json_path}")
+        else:
+            print(payload)
+        return 0
+
+    if args.command == "render":
+        result = _call_driver(args.name, args.seed, True)
+        print(_render(args.name, result))
+        return 0
+
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

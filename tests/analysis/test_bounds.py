@@ -1,0 +1,79 @@
+"""Tests for the closed-form capacity bounds — validated against the sim."""
+
+import pytest
+
+from repro.analysis.bounds import (
+    decoder_bound,
+    effective_capacity_bound,
+    spectrum_bound,
+    standard_lorawan_bound,
+)
+from repro.experiments.common import lab_link, measure_capacity
+from repro.sim.scenario import assign_orthogonal_combos, build_network
+
+
+class TestFormulas:
+    def test_spectrum_bound_testbed(self):
+        assert spectrum_bound(8) == 48
+        assert spectrum_bound(24) == 144
+
+    def test_decoder_bound_redundancy(self, plan_16):
+        net = build_network(1, 5, 1, list(plan_16), seed=0)
+        assert decoder_bound(net.gateways) == 80
+        assert decoder_bound(net.gateways, redundancy=5.0) == 16
+
+    def test_redundancy_below_one_rejected(self, plan_16):
+        net = build_network(1, 2, 1, list(plan_16), seed=0)
+        with pytest.raises(ValueError):
+            decoder_bound(net.gateways, redundancy=0.5)
+
+    def test_effective_bound_is_min(self, plan_16):
+        net = build_network(1, 5, 1, list(plan_16), seed=0)
+        # 80 decoders vs 48 cells: spectrum binds.
+        assert effective_capacity_bound(net.gateways, 8) == 48
+        # With 5x redundancy the decoder side binds.
+        assert effective_capacity_bound(net.gateways, 8, redundancy=5.0) == 16
+
+    def test_standard_bound_48_for_4_8mhz(self, grid_48):
+        net = build_network(1, 15, 1, grid_48.channels()[:8], seed=0)
+        assert standard_lorawan_bound(net.gateways, 24) == 48
+
+    def test_standard_bound_16_for_1_6mhz(self, plan_16):
+        net = build_network(1, 5, 1, list(plan_16), seed=0)
+        assert standard_lorawan_bound(net.gateways, 8) == 16
+
+
+class TestBoundsHoldInSimulation:
+    def test_measured_capacity_never_exceeds_effective_bound(
+        self, plan_16, grid_16, link
+    ):
+        for num_gws in (1, 3, 5):
+            net = build_network(
+                1,
+                num_gws,
+                48,
+                grid_16.channels(),
+                seed=3,
+                width_m=250,
+                height_m=250,
+            )
+            assign_orthogonal_combos(net.devices, grid_16.channels())
+            measured = measure_capacity(
+                net.gateways, net.devices, link=link
+            ).delivered_count()
+            assert measured <= effective_capacity_bound(net.gateways, 8)
+
+    def test_homogeneous_gateways_hit_standard_bound(self, plan_16, link):
+        from repro.baselines.standard import apply_standard_lorawan
+        from repro.phy.regions import TESTBED_16
+
+        grid = TESTBED_16.grid()
+        net = build_network(
+            1, 3, 48, grid.channels(), seed=3, width_m=250, height_m=250
+        )
+        apply_standard_lorawan(net, grid, seed=0, randomize_devices=False)
+        assign_orthogonal_combos(net.devices, grid.channels())
+        measured = measure_capacity(
+            net.gateways, net.devices, link=link
+        ).delivered_count()
+        assert measured == standard_lorawan_bound(net.gateways, 8)

@@ -1,0 +1,101 @@
+"""Tests for the Erlang-B model — including validation against the simulator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.erlang import (
+    capacity_for_blocking,
+    erlang_b,
+    expected_decoder_loss,
+    offered_load,
+)
+from repro.gateway.decoder import DecoderPool
+
+
+class TestErlangB:
+    def test_zero_load_no_blocking(self):
+        assert erlang_b(0.0, 16) == 0.0
+
+    def test_zero_servers_blocks_everything(self):
+        assert erlang_b(5.0, 0) == 1.0
+
+    def test_known_value(self):
+        # Classic table value: B(10, 10) ~ 0.2146.
+        assert erlang_b(10.0, 10) == pytest.approx(0.2146, abs=1e-3)
+
+    def test_16_decoders_at_16_erlangs(self):
+        # A 16-decoder gateway offered exactly 16 Erlangs blocks ~18 %.
+        assert 0.15 < erlang_b(16.0, 16) < 0.22
+
+    @given(
+        a=st.floats(min_value=0.1, max_value=50),
+        c=st.integers(min_value=1, max_value=32),
+    )
+    def test_bounded_probability(self, a, c):
+        b = erlang_b(a, c)
+        assert 0.0 <= b <= 1.0
+
+    @given(a=st.floats(min_value=0.1, max_value=50))
+    def test_monotone_in_servers(self, a):
+        blocking = [erlang_b(a, c) for c in range(1, 20)]
+        assert blocking == sorted(blocking, reverse=True)
+
+    @given(c=st.integers(min_value=1, max_value=32))
+    def test_monotone_in_load(self, c):
+        blocking = [erlang_b(a / 2.0, c) for a in range(1, 40)]
+        assert blocking == sorted(blocking)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            erlang_b(-1.0, 4)
+
+
+class TestInverse:
+    def test_roundtrip(self):
+        load = capacity_for_blocking(16, 0.01)
+        assert erlang_b(load, 16) == pytest.approx(0.01, abs=1e-4)
+
+    def test_sixteen_decoders_at_1pct(self):
+        # Planning rule of thumb: a 16-decoder pool carries ~8.9 Erlangs
+        # at 1 % decoder loss — barely half its nominal size.
+        load = capacity_for_blocking(16, 0.01)
+        assert 8.0 < load < 10.0
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            capacity_for_blocking(16, 0.0)
+
+
+class TestSimulatorAgreement:
+    """The decoder pool must follow Erlang-B under Poisson traffic."""
+
+    @pytest.mark.parametrize("offered", [8.0, 16.0, 24.0])
+    def test_pool_blocking_matches_theory(self, offered):
+        decoders = 16
+        airtime = 0.2
+        rate = offered / airtime
+        rng = random.Random(42)
+        pool = DecoderPool(decoders)
+        t = 0.0
+        accepted = blocked = 0
+        for i in range(30_000):
+            t += rng.expovariate(rate)
+            if pool.try_allocate(t, t + airtime, 1, i) is None:
+                blocked += 1
+            else:
+                accepted += 1
+        measured = blocked / (blocked + accepted)
+        expected = erlang_b(offered, decoders)
+        assert measured == pytest.approx(expected, abs=0.02)
+
+    def test_expected_decoder_loss_helper(self):
+        assert expected_decoder_loss(80.0, 0.2, 16) == pytest.approx(
+            erlang_b(16.0, 16)
+        )
+
+    def test_offered_load(self):
+        assert offered_load(100.0, 0.25) == 25.0
+        with pytest.raises(ValueError):
+            offered_load(-1.0, 0.2)

@@ -1,0 +1,158 @@
+"""Tests for the baseline strategies (standard, Random CP, ADR, LMAC, CIC)."""
+
+import pytest
+
+from repro.baselines.adr_baseline import (
+    apply_standard_adr,
+    dr_distribution,
+    gateways_per_node,
+)
+from repro.baselines.cic import enable_cic
+from repro.baselines.lmac import lmac_schedule
+from repro.baselines.random_cp import apply_random_cp
+from repro.baselines.standard import apply_standard_lorawan
+from repro.node.traffic import duty_cycle_schedule
+from repro.phy.channels import overlap_ratio
+from repro.phy.lora import DataRate
+from repro.sim.scenario import build_network
+from repro.types import time_overlap_s
+
+
+class TestStandardLorawan:
+    def test_gateways_round_robin_across_plans(self, grid_48):
+        net = build_network(1, 6, 10, grid_48.channels()[:8], seed=0)
+        plans = apply_standard_lorawan(net, grid_48, seed=0)
+        assert len(plans) == 3
+        assert net.gateways[0].channels == net.gateways[3].channels
+        assert net.gateways[0].channels != net.gateways[1].channels
+
+    def test_single_plan_grid_homogeneous(self, grid_16):
+        net = build_network(1, 4, 10, grid_16.channels(), seed=0)
+        apply_standard_lorawan(net, grid_16, seed=0)
+        assert len({g.channels for g in net.gateways}) == 1
+
+    def test_devices_on_grid_channels(self, grid_16):
+        net = build_network(1, 2, 30, grid_16.channels(), seed=0)
+        apply_standard_lorawan(net, grid_16, seed=0)
+        centers = {c.center_hz for c in grid_16.channels()}
+        assert all(d.channel.center_hz in centers for d in net.devices)
+
+    def test_device_randomization_optional(self, grid_16):
+        net = build_network(1, 2, 10, grid_16.channels()[:1], seed=0)
+        before = [d.channel for d in net.devices]
+        apply_standard_lorawan(net, grid_16, seed=0, randomize_devices=False)
+        assert [d.channel for d in net.devices] == before
+
+
+class TestRandomCp:
+    def test_counts_follow_strategy_1(self, grid_48):
+        net = build_network(1, 5, 10, grid_48.channels()[:8], seed=0)
+        windows = apply_random_cp(net, grid_48.channels(), seed=1)
+        # 16 decoders / 6 DRs -> 3-channel windows.
+        assert all(count == 3 for _, count in windows)
+
+    def test_full_width_without_adjustment(self, grid_48):
+        net = build_network(1, 3, 10, grid_48.channels()[:8], seed=0)
+        windows = apply_random_cp(
+            net, grid_48.channels(), seed=1, adjust_counts=False
+        )
+        assert all(count == 8 for _, count in windows)
+
+    def test_deterministic(self, grid_48):
+        net1 = build_network(1, 5, 10, grid_48.channels()[:8], seed=0)
+        net2 = build_network(1, 5, 10, grid_48.channels()[:8], seed=0)
+        w1 = apply_random_cp(net1, grid_48.channels(), seed=7)
+        w2 = apply_random_cp(net2, grid_48.channels(), seed=7)
+        assert w1 == w2
+
+    def test_rejects_empty_channels(self, grid_48):
+        net = build_network(1, 1, 1, grid_48.channels()[:8], seed=0)
+        with pytest.raises(ValueError):
+            apply_random_cp(net, [], seed=0)
+
+
+class TestAdrBaseline:
+    def test_adr_shrinks_cells(self, grid_48, link):
+        net = build_network(
+            1,
+            8,
+            60,
+            grid_48.channels()[:8],
+            seed=0,
+            width_m=2100,
+            height_m=1600,
+            default_dr=DataRate.DR0,
+        )
+        before = gateways_per_node(net, link)
+        apply_standard_adr(net, link)
+        after = gateways_per_node(net, link)
+        assert after < before
+
+    def test_adr_skews_to_dr5(self, grid_48, link):
+        net = build_network(
+            1,
+            20,
+            100,
+            grid_48.channels()[:8],
+            seed=0,
+            width_m=2100,
+            height_m=1600,
+            default_dr=DataRate.DR0,
+        )
+        apply_standard_adr(net, link)
+        dist = dr_distribution(net)
+        assert dist[DataRate.DR5] > 0.5
+
+    def test_empty_network_distribution(self):
+        from repro.sim.scenario import Network
+
+        assert dr_distribution(Network(network_id=1)) == {}
+
+
+class TestLmac:
+    def _traffic(self, grid_16, seed=0):
+        net = build_network(1, 1, 10, grid_16.channels()[:2], seed=seed)
+        for i, dev in enumerate(net.devices):
+            dev.apply_config(dr=DataRate.DR4)
+        return duty_cycle_schedule(net.devices, 60.0, seed=seed, duty_cycle=0.05)
+
+    def test_no_collisions_after_scheduling(self, grid_16):
+        txs = lmac_schedule(self._traffic(grid_16), seed=0)
+        for i, a in enumerate(txs):
+            for b in txs[i + 1 :]:
+                same_medium = (
+                    a.sf == b.sf
+                    and overlap_ratio(a.channel, b.channel) > 0.9
+                )
+                if same_medium:
+                    assert time_overlap_s(a, b) == pytest.approx(0.0, abs=1e-9)
+
+    def test_never_transmits_earlier(self, grid_16):
+        original = self._traffic(grid_16)
+        rescheduled = lmac_schedule(original, seed=0)
+        orig_by_key = {
+            (t.node_id, t.counter): t.start_s for t in original
+        }
+        for t in rescheduled:
+            assert t.start_s >= orig_by_key[(t.node_id, t.counter)] - 1e-12
+
+    def test_bounded_deferral(self, grid_16):
+        original = self._traffic(grid_16)
+        rescheduled = lmac_schedule(original, seed=0, max_defer_s=0.5)
+        orig_by_key = {(t.node_id, t.counter): t.start_s for t in original}
+        for t in rescheduled:
+            defer = t.start_s - orig_by_key[(t.node_id, t.counter)]
+            assert defer <= 0.5 + 0.02 + 1e-9
+
+    def test_preserves_packet_count(self, grid_16):
+        original = self._traffic(grid_16)
+        assert len(lmac_schedule(original, seed=0)) == len(original)
+
+
+class TestCic:
+    def test_enable_disable(self, grid_16):
+        net = build_network(1, 3, 5, grid_16.channels(), seed=0)
+        enable_cic(net)
+        assert all(g.collision_resilient for g in net.gateways)
+        enable_cic(net, enabled=False)
+        assert not any(g.collision_resilient for g in net.gateways)

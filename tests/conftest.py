@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.experiments.common import lab_link
+from repro.phy.channels import standard_plans
+from repro.phy.link import Position
+from repro.phy.regions import TESTBED_16, TESTBED_48
+from repro.sim.scenario import assign_orthogonal_combos, build_network
+
+
+@pytest.fixture
+def grid_16():
+    """The 1.6 MHz testbed channel grid (8 channels)."""
+    return TESTBED_16.grid()
+
+
+@pytest.fixture
+def grid_48():
+    """The 4.8 MHz testbed channel grid (24 channels)."""
+    return TESTBED_48.grid()
+
+
+@pytest.fixture
+def plan_16(grid_16):
+    """The first standard channel plan of the 1.6 MHz grid."""
+    return standard_plans(grid_16)[0]
+
+
+@pytest.fixture
+def link():
+    """A low-shadowing (lab) link budget."""
+    return lab_link(seed=0)
+
+
+@pytest.fixture
+def compact_network(plan_16):
+    """One network, one gateway, 20 nodes, compact area (all in reach)."""
+    net = build_network(
+        network_id=1,
+        num_gateways=1,
+        num_nodes=20,
+        channels=list(plan_16),
+        seed=1,
+        width_m=200.0,
+        height_m=200.0,
+    )
+    assign_orthogonal_combos(net.devices, list(plan_16))
+    return net

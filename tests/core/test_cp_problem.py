@@ -1,0 +1,161 @@
+"""Tests for the CP problem model and its vectorized evaluator."""
+
+import pytest
+
+from repro.core.cp_problem import (
+    CPEvaluator,
+    CPInput,
+    CPSolution,
+    GatewaySpec,
+    NodeSpec,
+    UNSERVED_COST,
+)
+from repro.phy.channels import ChannelGrid
+from repro.phy.link import DEFAULT_TIERS
+
+GRID = ChannelGrid(start_hz=923.0e6, width_hz=1.6e6)
+NUM_TIERS = len(DEFAULT_TIERS)
+
+
+def make_cp(num_gw=2, num_nodes=4, decoders=16, reach_all=True):
+    gateways = [
+        GatewaySpec(
+            gateway_id=j, decoders=decoders, max_channels=8, max_span_channels=8
+        )
+        for j in range(num_gw)
+    ]
+    reach = tuple(
+        tuple(range(num_gw)) if reach_all else () for _ in range(NUM_TIERS)
+    )
+    nodes = [
+        NodeSpec(node_id=i, traffic=1.0, reach=reach) for i in range(num_nodes)
+    ]
+    return CPInput(gateways=gateways, nodes=nodes, channels=GRID.channels())
+
+
+def genome_for(cp, windows, node_ch, node_tier):
+    g = []
+    for start, count in windows:
+        g.extend((start, count))
+    for ch, tier in zip(node_ch, node_tier):
+        g.extend((ch, tier))
+    return g
+
+
+class TestValidation:
+    def test_requires_gateways(self):
+        with pytest.raises(ValueError):
+            CPInput(gateways=[], nodes=[], channels=GRID.channels())
+
+    def test_requires_channels(self):
+        cp = make_cp()
+        with pytest.raises(ValueError):
+            CPInput(gateways=cp.gateways, nodes=cp.nodes, channels=[])
+
+    def test_reach_tier_mismatch(self):
+        cp = make_cp()
+        bad = NodeSpec(node_id=9, traffic=1.0, reach=((0,),))
+        with pytest.raises(ValueError):
+            CPInput(
+                gateways=cp.gateways,
+                nodes=[bad],
+                channels=GRID.channels(),
+            )
+
+
+class TestEvaluator:
+    def test_zero_risk_when_spread(self):
+        cp = make_cp(num_gw=2, num_nodes=4)
+        ev = CPEvaluator(cp)
+        genome = genome_for(
+            cp, [(0, 4), (4, 4)], [0, 1, 4, 5], [0, 0, 0, 0]
+        )
+        risk, violations = ev.risk(genome)
+        assert violations == 0
+        # Only the small redundancy term remains.
+        assert risk < 1.0
+
+    def test_unserved_node_costs(self):
+        cp = make_cp(num_gw=1, num_nodes=1)
+        ev = CPEvaluator(cp)
+        # Gateway covers channels 0-3; the node sits on channel 7.
+        genome = genome_for(cp, [(0, 4)], [7], [0])
+        risk, violations = ev.risk(genome)
+        assert violations == 1
+        assert risk >= UNSERVED_COST
+
+    def test_cell_collision_penalized(self):
+        cp = make_cp(num_gw=1, num_nodes=2, decoders=16)
+        ev = CPEvaluator(cp)
+        shared = genome_for(cp, [(0, 8)], [0, 0], [0, 0])
+        spread = genome_for(cp, [(0, 8)], [0, 1], [0, 0])
+        assert ev.risk(shared)[0] > ev.risk(spread)[0]
+
+    def test_decoder_overload_penalized(self):
+        cp = make_cp(num_gw=1, num_nodes=12, decoders=6)
+        ev = CPEvaluator(cp)
+        # All 12 nodes on distinct cells within the window: overload 6.
+        node_ch = [i % 8 for i in range(12)]
+        node_tier = [i // 8 for i in range(12)]
+        genome = genome_for(cp, [(0, 8)], node_ch, node_tier)
+        risk, _ = ev.risk(genome)
+        assert risk > 2.0
+
+    def test_window_clamped_into_grid(self):
+        cp = make_cp(num_gw=1, num_nodes=1)
+        ev = CPEvaluator(cp)
+        starts, counts, _, _ = ev.split(genome_for(cp, [(7, 4)], [0], [0]))
+        assert starts[0] + counts[0] <= len(cp.channels)
+
+    def test_fitness_is_negative_risk(self):
+        cp = make_cp()
+        ev = CPEvaluator(cp)
+        genome = genome_for(cp, [(0, 4), (4, 4)], [0, 1, 4, 5], [0] * 4)
+        risk, _ = ev.risk(genome)
+        assert ev.fitness(genome) == pytest.approx(-risk)
+
+    def test_decode_roundtrip(self):
+        cp = make_cp()
+        ev = CPEvaluator(cp)
+        genome = genome_for(cp, [(0, 4), (4, 4)], [0, 1, 4, 5], [0] * 4)
+        sol = ev.decode(genome)
+        assert sol.gateway_windows == [(0, 4), (4, 4)]
+        assert sol.node_channels == [0, 1, 4, 5]
+        assert sol.gateway_channels(cp, 0) == GRID.channels()[0:4]
+
+
+class TestFixedNodes:
+    def test_bounds_shrink(self):
+        cp = make_cp(num_gw=2, num_nodes=4)
+        full = CPEvaluator(cp)
+        fixed = CPEvaluator(cp, fixed_nodes=([0, 1, 4, 5], [0, 0, 0, 0]))
+        assert len(fixed.bounds()) == 4  # gateway genes only
+        assert len(full.bounds()) == 4 + 8
+
+    def test_fixed_assignment_used(self):
+        cp = make_cp(num_gw=1, num_nodes=2)
+        fixed = CPEvaluator(cp, fixed_nodes=([0, 1], [0, 0]))
+        risk, violations = fixed.risk([0, 8])
+        assert violations == 0
+
+    def test_length_mismatch_rejected(self):
+        cp = make_cp(num_gw=1, num_nodes=2)
+        with pytest.raises(ValueError):
+            CPEvaluator(cp, fixed_nodes=([0], [0]))
+
+
+class TestTrafficWeighting:
+    def test_fractional_traffic_tolerates_cell_sharing(self):
+        gateways = [
+            GatewaySpec(gateway_id=0, decoders=16, max_channels=8, max_span_channels=8)
+        ]
+        reach = tuple((0,) for _ in range(NUM_TIERS))
+        light = [
+            NodeSpec(node_id=i, traffic=0.05, reach=reach) for i in range(4)
+        ]
+        cp = CPInput(gateways=gateways, nodes=light, channels=GRID.channels())
+        ev = CPEvaluator(cp)
+        genome = genome_for(cp, [(0, 8)], [0, 0, 0, 0], [0, 0, 0, 0])
+        risk, _ = ev.risk(genome)
+        # Four 5 %-duty users sharing one cell is nearly free.
+        assert risk < 0.2

@@ -1,0 +1,113 @@
+"""Tests for inter-network misalignment planning."""
+
+import pytest
+
+from repro.core.inter_planner import (
+    allocate_operators,
+    cross_network_overlap,
+    max_coexisting_networks,
+    misaligned_grids,
+    misalignment_for,
+)
+from repro.phy.channels import overlap_ratio
+from repro.phy.interference import DETECTION_MIN_OVERLAP, is_detectable
+
+
+class TestMisalignment:
+    def test_uniform_shift(self):
+        assert misalignment_for(4) == pytest.approx(50e3)
+
+    def test_rejects_zero_networks(self):
+        with pytest.raises(ValueError):
+            misalignment_for(0)
+
+    def test_max_networks_at_least_six(self):
+        # The paper demonstrates harmonious coexistence of six networks.
+        assert max_coexisting_networks() >= 6
+
+
+class TestMisalignedGrids:
+    def test_six_networks_isolated(self, grid_16):
+        plan = misaligned_grids(grid_16, 6)
+        for a in range(6):
+            for b in range(6):
+                if a == b:
+                    continue
+                ch_a = plan.grid_for(a).channel(0)
+                for i in range(3):
+                    ch_b = plan.grid_for(b).channel(i)
+                    assert not is_detectable(ch_b, ch_a)
+
+    def test_explicit_overlap_ratio(self, grid_16):
+        plan = misaligned_grids(grid_16, 2, overlap_ratio_target=0.4)
+        assert plan.adjacent_overlap() == pytest.approx(0.4)
+
+    def test_rejects_unisolatable_overlap(self, grid_16):
+        with pytest.raises(ValueError):
+            misaligned_grids(grid_16, 2, overlap_ratio_target=0.9)
+
+    def test_slot_out_of_range(self, grid_16):
+        plan = misaligned_grids(grid_16, 2)
+        with pytest.raises(IndexError):
+            plan.grid_for(2)
+
+
+class TestAllocateOperators:
+    def test_full_grids_when_slots_suffice(self, grid_16):
+        allocs = allocate_operators(grid_16, 4)
+        assert all(len(a.channel_indices) == 8 for a in allocs)
+
+    def test_channel_division_when_oversubscribed(self, grid_16):
+        allocs = allocate_operators(grid_16, 6, overlap_ratio_target=0.2)
+        # Only two isolated shifts at 20 % overlap: operators sharing a
+        # shift must receive disjoint channel subsets.
+        by_slot = {}
+        for a in allocs:
+            by_slot.setdefault(a.shift_hz, []).append(a)
+        for group in by_slot.values():
+            seen = set()
+            for a in group:
+                assert not (seen & set(a.channel_indices))
+                seen |= set(a.channel_indices)
+
+    def test_all_pairs_isolated_or_disjoint(self, grid_16):
+        allocs = allocate_operators(grid_16, 6, overlap_ratio_target=0.6)
+        for i, a in enumerate(allocs):
+            for b in allocs[i + 1 :]:
+                if a.shift_hz == b.shift_hz:
+                    assert not (
+                        set(a.channel_indices) & set(b.channel_indices)
+                    )
+                else:
+                    ch_a = a.channels()[0]
+                    for ch_b in b.channels()[:3]:
+                        assert (
+                            overlap_ratio(ch_a, ch_b) < DETECTION_MIN_OVERLAP
+                        )
+
+    def test_single_network_gets_everything(self, grid_16):
+        (alloc,) = allocate_operators(grid_16, 1)
+        assert alloc.shift_hz == 0.0
+        assert len(alloc.channel_indices) == grid_16.num_channels
+
+    def test_rejects_impossible_demand(self, grid_16):
+        with pytest.raises(ValueError):
+            allocate_operators(grid_16, 100, overlap_ratio_target=0.2)
+
+    def test_channels_materialize_shifted(self, grid_16):
+        allocs = allocate_operators(grid_16, 2)
+        base0 = grid_16.channel(0).center_hz
+        assert allocs[1].channels()[0].center_hz == pytest.approx(
+            base0 + allocs[1].shift_hz
+        )
+
+
+class TestCrossNetworkOverlap:
+    def test_same_slot_full_overlap(self, grid_16):
+        plan = misaligned_grids(grid_16, 3)
+        assert cross_network_overlap(plan, 0, 0) == pytest.approx(1.0)
+
+    def test_adjacent_slots_partial(self, grid_16):
+        plan = misaligned_grids(grid_16, 3)
+        ov = cross_network_overlap(plan, 0, 1)
+        assert 0.0 < ov < DETECTION_MIN_OVERLAP

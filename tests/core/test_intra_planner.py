@@ -1,0 +1,164 @@
+"""Tests for the intra-network channel planner."""
+
+import pytest
+
+from repro.core.evolutionary import GAConfig
+from repro.core.intra_planner import (
+    IntraNetworkPlanner,
+    PlannerConfig,
+    build_cp_input,
+)
+from repro.experiments.common import lab_link, measure_capacity
+from repro.sim.scenario import assign_orthogonal_combos, build_network
+
+FAST = GAConfig(population=24, generations=30, seed=1, patience=10)
+
+
+@pytest.fixture
+def small_network(grid_16, link):
+    net = build_network(
+        1, 3, 24, grid_16.channels(), seed=2, width_m=250, height_m=250
+    )
+    assign_orthogonal_combos(net.devices, grid_16.channels())
+    return net
+
+
+class TestBuildCpInput:
+    def test_dimensions(self, small_network, grid_16, link):
+        cp = build_cp_input(small_network, grid_16.channels(), link)
+        assert len(cp.gateways) == 3
+        assert len(cp.nodes) == 24
+        assert len(cp.channels) == 8
+
+    def test_reach_grows_with_tier(self, small_network, grid_16, link):
+        cp = build_cp_input(small_network, grid_16.channels(), link)
+        for node in cp.nodes:
+            sizes = [len(r) for r in node.reach]
+            assert sizes == sorted(sizes)
+
+    def test_compact_network_fully_reachable_at_high_tier(
+        self, small_network, grid_16, link
+    ):
+        cp = build_cp_input(small_network, grid_16.channels(), link)
+        assert all(len(node.reach[-1]) == 3 for node in cp.nodes)
+
+    def test_traffic_override(self, small_network, grid_16, link):
+        traffic = {d.node_id: 0.5 for d in small_network.devices}
+        cp = build_cp_input(
+            small_network, grid_16.channels(), link, traffic=traffic
+        )
+        assert all(n.traffic == 0.5 for n in cp.nodes)
+
+    def test_unknown_node_gets_zero_traffic(
+        self, small_network, grid_16, link
+    ):
+        cp = build_cp_input(
+            small_network, grid_16.channels(), link, traffic={}
+        )
+        assert all(n.traffic == 0.0 for n in cp.nodes)
+
+
+class TestPlanning:
+    def test_plan_is_connected_and_low_risk(
+        self, small_network, grid_16, link
+    ):
+        planner = IntraNetworkPlanner(
+            small_network,
+            grid_16.channels(),
+            link=link,
+            config=PlannerConfig(ga=FAST),
+        )
+        outcome = planner.plan()
+        assert outcome.solution.connectivity_violations == 0
+        assert outcome.solution.risk < 5.0
+        assert outcome.solve_time_s > 0
+
+    def test_apply_configures_hardware(self, small_network, grid_16, link):
+        planner = IntraNetworkPlanner(
+            small_network,
+            grid_16.channels(),
+            link=link,
+            config=PlannerConfig(ga=FAST),
+        )
+        outcome = planner.plan_and_apply()
+        for j, gw in enumerate(small_network.gateways):
+            start, count = outcome.solution.gateway_windows[j]
+            assert len(gw.channels) == count
+        planned = {
+            (c, t)
+            for c, t in zip(
+                outcome.solution.node_channels, outcome.solution.node_tiers
+            )
+        }
+        assert planned  # nodes were assigned
+
+    def test_capacity_improves_over_standard(
+        self, small_network, grid_16, link
+    ):
+        # Standard homogeneous configuration first.
+        from repro.baselines.standard import apply_standard_lorawan
+
+        apply_standard_lorawan(
+            small_network, grid_16, seed=0, randomize_devices=False
+        )
+        baseline = measure_capacity(
+            small_network.gateways, small_network.devices, link=link
+        ).delivered_count()
+
+        planner = IntraNetworkPlanner(
+            small_network,
+            grid_16.channels(),
+            link=link,
+            config=PlannerConfig(ga=FAST),
+        )
+        planner.plan_and_apply()
+        planned = measure_capacity(
+            small_network.gateways, small_network.devices, link=link
+        ).delivered_count()
+        assert baseline <= 16
+        assert planned > baseline
+
+    def test_channel_count_pinned_without_strategy_1(
+        self, small_network, grid_16, link
+    ):
+        planner = IntraNetworkPlanner(
+            small_network,
+            grid_16.channels(),
+            link=link,
+            config=PlannerConfig(optimize_channel_count=False, ga=FAST),
+        )
+        outcome = planner.plan()
+        assert all(
+            count == 8 for _, count in outcome.solution.gateway_windows
+        )
+
+    def test_node_side_frozen_variant(self, small_network, grid_16, link):
+        before = [(d.channel, d.dr) for d in small_network.devices]
+        planner = IntraNetworkPlanner(
+            small_network,
+            grid_16.channels(),
+            link=link,
+            config=PlannerConfig(optimize_nodes=False, ga=FAST),
+        )
+        planner.plan_and_apply()
+        after = [(d.channel, d.dr) for d in small_network.devices]
+        assert before == after  # devices untouched
+
+    def test_deterministic(self, grid_16, link):
+        results = []
+        for _ in range(2):
+            net = build_network(
+                1, 3, 24, grid_16.channels(), seed=2, width_m=250, height_m=250
+            )
+            assign_orthogonal_combos(net.devices, grid_16.channels())
+            planner = IntraNetworkPlanner(
+                net, grid_16.channels(), link=link, config=PlannerConfig(ga=FAST)
+            )
+            outcome = planner.plan()
+            results.append(
+                (
+                    outcome.solution.gateway_windows,
+                    outcome.solution.node_channels,
+                )
+            )
+        assert results[0] == results[1]

@@ -1,0 +1,92 @@
+"""Tests for the operational-log parser."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.log_parser import parse_log, parse_log_line
+from repro.netserver.records import UplinkRecord, format_log_line
+
+
+def make_record(**kwargs):
+    defaults = dict(
+        timestamp_s=1.5,
+        gateway_id=2,
+        network_id=1,
+        node_id=17,
+        counter=3,
+        frequency_hz=923_300_000.0,
+        dr=4,
+        snr_db=-2.75,
+        rssi_dbm=-111.25,
+        payload_bytes=20,
+    )
+    defaults.update(kwargs)
+    return UplinkRecord(**defaults)
+
+
+class TestParseLine:
+    def test_roundtrip(self):
+        record = make_record()
+        parsed = parse_log_line(format_log_line(record))
+        assert parsed == record
+
+    def test_negative_values_roundtrip(self):
+        record = make_record(snr_db=-19.5, rssi_dbm=-136.0)
+        assert parse_log_line(format_log_line(record)) == record
+
+    def test_non_up_line(self):
+        assert parse_log_line("downlink scheduled dev=3") is None
+
+    def test_missing_field(self):
+        line = format_log_line(make_record()).replace("snr=-2.75 ", "")
+        assert parse_log_line(line) is None
+
+    def test_garbage_value(self):
+        line = format_log_line(make_record()).replace("fcnt=3", "fcnt=three")
+        assert parse_log_line(line) is None
+
+    def test_whitespace_tolerated(self):
+        line = "  " + format_log_line(make_record()) + "  "
+        assert parse_log_line(line) == make_record()
+
+
+class TestParseLog:
+    def test_mixed_stream(self):
+        records = [make_record(counter=i) for i in range(5)]
+        lines = [format_log_line(r) for r in records]
+        lines.insert(2, "join-request dev=99")
+        lines.insert(0, "")
+        lines.append("up broken=line")
+        parsed, stats = parse_log(lines)
+        assert len(parsed) == 5
+        assert stats.parsed == 5
+        assert stats.malformed == 1
+
+    def test_empty_log(self):
+        parsed, stats = parse_log([])
+        assert parsed == []
+        assert stats.lines == 0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10_000),  # node
+                st.integers(min_value=0, max_value=65_535),  # counter
+                st.integers(min_value=0, max_value=5),  # dr
+                st.floats(min_value=-30, max_value=20),  # snr
+            ),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_roundtrip(self, rows):
+        records = [
+            make_record(
+                node_id=node, counter=counter, dr=dr, snr_db=round(snr, 2)
+            )
+            for node, counter, dr, snr in rows
+        ]
+        lines = [format_log_line(r) for r in records]
+        parsed, stats = parse_log(lines)
+        assert parsed == records
+        assert stats.malformed == 0

@@ -1,0 +1,177 @@
+"""Tests for the Master node (in-process) and its TCP front-end."""
+
+import threading
+
+import pytest
+
+from repro.core.master import MasterNode, RegionFullError
+from repro.core.master_client import MasterClient, MasterRequestError
+from repro.core.master_server import MasterServer
+
+
+class TestMasterNode:
+    def test_register_assigns_slots_in_order(self, grid_16):
+        master = MasterNode(grid_16, expected_networks=3)
+        a = master.register("op-a")
+        b = master.register("op-b")
+        assert a.slot == 0
+        assert b.slot == 1
+        assert a.shift_hz != b.shift_hz
+
+    def test_register_idempotent(self, grid_16):
+        master = MasterNode(grid_16, expected_networks=2)
+        first = master.register("op-a")
+        again = master.register("op-a")
+        assert first == again
+
+    def test_region_full(self, grid_16):
+        master = MasterNode(grid_16, expected_networks=1)
+        master.register("op-a")
+        with pytest.raises(RegionFullError):
+            master.register("op-b")
+
+    def test_release_recycles_slot(self, grid_16):
+        master = MasterNode(grid_16, expected_networks=1)
+        a = master.register("op-a")
+        assert master.release("op-a")
+        b = master.register("op-b")
+        assert b.slot == a.slot
+
+    def test_release_unknown(self, grid_16):
+        master = MasterNode(grid_16, expected_networks=1)
+        assert not master.release("ghost")
+
+    def test_empty_operator_rejected(self, grid_16):
+        master = MasterNode(grid_16)
+        with pytest.raises(ValueError):
+            master.register("")
+
+    def test_status_snapshot(self, grid_16):
+        master = MasterNode(grid_16, expected_networks=2)
+        master.register("op-a")
+        status = master.status()
+        assert status["occupied"] == 1
+        assert status["free"] == 1
+        assert status["operators"] == {"op-a": 0}
+
+    def test_assignment_lookup(self, grid_16):
+        master = MasterNode(grid_16, expected_networks=2)
+        master.register("op-a")
+        assert master.assignment_of("op-a").operator == "op-a"
+        assert master.assignment_of("nobody") is None
+
+    def test_thread_safe_registration(self, grid_16):
+        master = MasterNode(grid_16, expected_networks=6)
+        results = []
+
+        def worker(name):
+            results.append(master.register(name))
+
+        threads = [
+            threading.Thread(target=worker, args=(f"op-{i}",)) for i in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        slots = sorted(a.slot for a in results)
+        assert slots == list(range(6))
+
+
+class TestMasterOverTcp:
+    def test_register_roundtrip(self, grid_16):
+        master = MasterNode(grid_16, expected_networks=2)
+        with MasterServer(master) as server:
+            with MasterClient(server.address) as client:
+                assignment = client.register("op-1")
+                assert assignment.operator == "op-1"
+                assert assignment.slot == 0
+                assert len(assignment.channels()) == 8
+                assert client.last_rtt_s is not None
+
+    def test_two_clients_distinct_slots(self, grid_16):
+        master = MasterNode(grid_16, expected_networks=2)
+        with MasterServer(master) as server:
+            with MasterClient(server.address) as c1, MasterClient(
+                server.address
+            ) as c2:
+                a1 = c1.register("op-1")
+                a2 = c2.register("op-2")
+                assert {a1.slot, a2.slot} == {0, 1}
+
+    def test_region_full_surfaces_as_error(self, grid_16):
+        master = MasterNode(grid_16, expected_networks=1)
+        with MasterServer(master) as server:
+            with MasterClient(server.address) as client:
+                client.register("op-1")
+                with pytest.raises(MasterRequestError):
+                    client.register("op-2")
+
+    def test_release_over_tcp(self, grid_16):
+        master = MasterNode(grid_16, expected_networks=1)
+        with MasterServer(master) as server:
+            with MasterClient(server.address) as client:
+                client.register("op-1")
+                assert client.release("op-1") is True
+                assert client.release("op-1") is False
+
+    def test_status_over_tcp(self, grid_16):
+        master = MasterNode(grid_16, expected_networks=3)
+        with MasterServer(master) as server:
+            with MasterClient(server.address) as client:
+                client.register("op-1")
+                status = client.status()
+                assert status["occupied"] == 1
+                assert status["slots"] == 3
+
+    def test_assignment_survives_wire_roundtrip(self, grid_16):
+        master = MasterNode(grid_16, expected_networks=4)
+        direct = master.register("op-x")
+        with MasterServer(master) as server:
+            with MasterClient(server.address) as client:
+                wired = client.register("op-x")  # idempotent
+        assert wired.slot == direct.slot
+        assert wired.shift_hz == pytest.approx(direct.shift_hz)
+        assert [c.center_hz for c in wired.channels()] == pytest.approx(
+            [c.center_hz for c in direct.channels()]
+        )
+
+    def test_server_close_is_clean(self, grid_16):
+        master = MasterNode(grid_16)
+        server = MasterServer(master).start()
+        server.close()  # no exception, socket released
+
+
+class TestServerRobustness:
+    def test_garbage_bytes_do_not_kill_server(self, grid_16):
+        import socket
+        import struct
+
+        master = MasterNode(grid_16, expected_networks=2)
+        with MasterServer(master) as server:
+            # A client that speaks garbage: oversized frame header.
+            rogue = socket.create_connection(server.address, timeout=1.0)
+            rogue.sendall(struct.pack(">I", 1 << 30))
+            rogue.close()
+            # A client sending a truncated frame.
+            rogue = socket.create_connection(server.address, timeout=1.0)
+            rogue.sendall(b"\x00\x00\x00\x10abc")
+            rogue.close()
+            # The server must still serve well-formed clients.
+            with MasterClient(server.address) as client:
+                assert client.register("op-1").slot == 0
+
+    def test_unknown_message_type_answered_with_error(self, grid_16):
+        import socket
+
+        from repro.core.protocol import read_message, send_message
+
+        master = MasterNode(grid_16)
+        with MasterServer(master) as server:
+            sock = socket.create_connection(server.address, timeout=1.0)
+            try:
+                send_message(sock, {"type": "dance"})
+                response = read_message(sock)
+                assert response["type"] == "error"
+            finally:
+                sock.close()

@@ -1,0 +1,145 @@
+"""Tests for the Master wire protocol (framing, serialization)."""
+
+import socket
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.master import Assignment
+from repro.core.protocol import (
+    MAX_MESSAGE_BYTES,
+    ProtocolError,
+    assignment_from_wire,
+    assignment_to_wire,
+    encode_message,
+    grid_from_wire,
+    grid_to_wire,
+    read_message,
+    send_message,
+)
+from repro.phy.channels import ChannelGrid
+
+
+def socket_pair():
+    return socket.socketpair()
+
+
+class TestFraming:
+    def test_roundtrip_over_socketpair(self):
+        a, b = socket_pair()
+        try:
+            send_message(a, {"type": "status"})
+            assert read_message(b) == {"type": "status"}
+        finally:
+            a.close()
+            b.close()
+
+    def test_multiple_messages_in_order(self):
+        a, b = socket_pair()
+        try:
+            for i in range(5):
+                send_message(a, {"n": i})
+            for i in range(5):
+                assert read_message(b) == {"n": i}
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_returns_none(self):
+        a, b = socket_pair()
+        a.close()
+        try:
+            assert read_message(b) is None
+        finally:
+            b.close()
+
+    def test_truncated_frame_raises(self):
+        a, b = socket_pair()
+        try:
+            frame = encode_message({"type": "status"})
+            a.sendall(frame[: len(frame) - 3])
+            a.close()
+            with pytest.raises(ProtocolError):
+                read_message(b)
+        finally:
+            b.close()
+
+    def test_oversized_frame_rejected_on_read(self):
+        a, b = socket_pair()
+        try:
+            import struct
+
+            a.sendall(struct.pack(">I", MAX_MESSAGE_BYTES + 1))
+            with pytest.raises(ProtocolError):
+                read_message(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_invalid_json_rejected(self):
+        a, b = socket_pair()
+        try:
+            import struct
+
+            payload = b"not json"
+            a.sendall(struct.pack(">I", len(payload)) + payload)
+            with pytest.raises(ProtocolError):
+                read_message(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_non_object_rejected(self):
+        a, b = socket_pair()
+        try:
+            import struct
+
+            payload = b"[1, 2, 3]"
+            a.sendall(struct.pack(">I", len(payload)) + payload)
+            with pytest.raises(ProtocolError):
+                read_message(b)
+        finally:
+            a.close()
+            b.close()
+
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=10),
+            st.one_of(st.integers(), st.floats(allow_nan=False), st.text(max_size=20)),
+            max_size=8,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_arbitrary_payload_roundtrip(self, payload):
+        a, b = socket_pair()
+        try:
+            send_message(a, payload)
+            assert read_message(b) == payload
+        finally:
+            a.close()
+            b.close()
+
+
+class TestSerialization:
+    def test_grid_roundtrip(self, grid_16):
+        assert grid_from_wire(grid_to_wire(grid_16)) == grid_16
+
+    def test_grid_bad_payload(self):
+        with pytest.raises(ProtocolError):
+            grid_from_wire({"start_hz": 1.0})
+
+    def test_assignment_roundtrip(self, grid_16):
+        assignment = Assignment(
+            operator="op-1",
+            slot=2,
+            shift_hz=66_666.7,
+            grid=grid_16.shifted(66_666.7),
+            channel_indices=(0, 2, 4),
+        )
+        wired = assignment_from_wire(assignment_to_wire(assignment))
+        assert wired == assignment
+
+    def test_assignment_bad_payload(self):
+        with pytest.raises(ProtocolError):
+            assignment_from_wire({"type": "assignment", "operator": "x"})

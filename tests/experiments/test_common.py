@@ -1,0 +1,116 @@
+"""Tests for shared experiment machinery."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.common import (
+    emulated_traffic,
+    lab_link,
+    measure_capacity,
+    stagger_duplicate_powers,
+)
+from repro.sim.scenario import assign_orthogonal_combos, build_network
+from repro.types import time_overlap_s
+
+
+class TestEmulatedTraffic:
+    def test_rate_matches_population(self, compact_network):
+        txs = emulated_traffic(
+            compact_network.devices,
+            total_users=1000,
+            mean_interval_s=10.0,
+            window_s=20.0,
+            seed=1,
+        )
+        # Expected 1000/10 * 20 = 2000 packets (Poisson, wide margin).
+        assert 1600 < len(txs) < 2400
+
+    def test_no_device_self_overlap(self, compact_network):
+        txs = emulated_traffic(
+            compact_network.devices,
+            total_users=2000,
+            mean_interval_s=10.0,
+            window_s=5.0,
+            seed=2,
+        )
+        by_device = {}
+        for tx in txs:
+            by_device.setdefault(tx.node_id, []).append(tx)
+        for packets in by_device.values():
+            packets.sort(key=lambda t: t.start_s)
+            for a, b in zip(packets, packets[1:]):
+                assert time_overlap_s(a, b) == pytest.approx(0.0, abs=1e-9)
+
+    def test_sorted_output(self, compact_network):
+        txs = emulated_traffic(
+            compact_network.devices, 500, 10.0, 10.0, seed=3
+        )
+        starts = [t.start_s for t in txs]
+        assert starts == sorted(starts)
+
+    def test_deterministic(self, compact_network):
+        a = emulated_traffic(compact_network.devices, 100, 10.0, 10.0, seed=4)
+        b = emulated_traffic(compact_network.devices, 100, 10.0, 10.0, seed=4)
+        assert [(t.node_id, t.start_s) for t in a] == [
+            (t.node_id, t.start_s) for t in b
+        ]
+
+    def test_rejects_bad_args(self, compact_network):
+        with pytest.raises(ValueError):
+            emulated_traffic(compact_network.devices, 0, 10.0, 10.0)
+        with pytest.raises(ValueError):
+            emulated_traffic(compact_network.devices, 10, 0.0, 10.0)
+        with pytest.raises(ValueError):
+            emulated_traffic([], 10, 10.0, 10.0)
+
+
+class TestStaggerPowers:
+    def test_duplicates_graded(self, plan_16):
+        net = build_network(1, 1, 12, list(plan_16)[:1], seed=0)
+        for dev in net.devices:
+            dev.apply_config(channel=list(plan_16)[0])
+        stagger_duplicate_powers(net.devices, step_db=8.0, top_dbm=20.0)
+        powers = sorted(
+            (d.tx_power_dbm for d in net.devices), reverse=True
+        )
+        assert powers[0] == 20.0
+        assert powers[1] == 12.0
+
+    def test_unique_cells_untouched_at_top(self, plan_16):
+        net = build_network(1, 1, 6, list(plan_16), seed=0)
+        assign_orthogonal_combos(net.devices, list(plan_16))
+        stagger_duplicate_powers(net.devices)
+        assert all(d.tx_power_dbm == 20.0 for d in net.devices)
+
+    def test_floor_at_2dbm(self, plan_16):
+        net = build_network(1, 1, 10, list(plan_16)[:1], seed=0)
+        for dev in net.devices:
+            dev.apply_config(channel=list(plan_16)[0])
+        stagger_duplicate_powers(net.devices)
+        assert min(d.tx_power_dbm for d in net.devices) == 2.0
+
+
+class TestMeasureCapacity:
+    def test_shuffle_changes_fcfs_order(self, compact_network, link):
+        base = measure_capacity(
+            compact_network.gateways, compact_network.devices, link=link
+        )
+        shuffled = measure_capacity(
+            compact_network.gateways,
+            compact_network.devices,
+            link=link,
+            shuffle_seed=1,
+        )
+        survivors_a = {
+            tx.node_id for tx in base.transmissions if base.delivered(tx)
+        }
+        survivors_b = {
+            tx.node_id
+            for tx in shuffled.transmissions
+            if shuffled.delivered(tx)
+        }
+        assert survivors_a != survivors_b
+
+    def test_lab_link_low_variance(self):
+        link = lab_link(seed=0)
+        assert link.path_loss.sigma_db == 2.0

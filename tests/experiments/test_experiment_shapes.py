@@ -1,0 +1,163 @@
+"""Shape tests for the cheap experiment drivers.
+
+These assert the *qualitative* paper results (who wins, where things
+saturate) on reduced parameter sets; the full sweeps live in the
+benchmark suite and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments.fig02 import run_fig2a, run_fig2b
+from repro.experiments.fig03 import run_fig3ab, run_fig3cd, run_fig3ef
+from repro.experiments.fig05 import run_fig5a, run_fig5b
+from repro.experiments.fig06 import run_fig6
+from repro.experiments.fig07 import run_fig7
+from repro.experiments.fig08 import run_fig8
+from repro.experiments.fig16 import run_fig16
+from repro.experiments.fig18 import run_fig18
+from repro.experiments.table4 import run_table4
+
+
+class TestFig2:
+    def test_capacity_pins_at_16(self):
+        result = run_fig2a(concurrency_levels=(8, 16, 32, 48))
+        assert result["gw1"] == [8, 16, 16, 16]
+
+    def test_extra_gateways_do_not_help(self):
+        result = run_fig2a(concurrency_levels=(32, 48))
+        assert max(result["gw3"]) <= 16
+
+    def test_oracle_caps_at_theory(self):
+        result = run_fig2a(concurrency_levels=(56,))
+        assert result["oracle"] == [48]
+
+    def test_coexisting_networks_share_the_cap(self):
+        result = run_fig2b(settings=((10, 10), (6, 18)))
+        for row in result["settings"]:
+            assert row["total_received"] <= 16
+            assert row["total_received"] >= 14
+            assert row["received_1"] > 0
+            assert row["received_2"] > 0
+
+
+class TestFig3:
+    def test_scheme_b_drops_exactly_the_tail(self):
+        result = run_fig3ab(repeats=4)
+        assert all(p == 1.0 for p in result["prr_b"][:16])
+        assert all(p < 0.5 for p in result["prr_b"][16:])
+
+    def test_snr_does_not_override_fcfs(self):
+        result = run_fig3cd(repeats=4)
+        # Weak-but-detectable early nodes still beat strong late nodes.
+        assert sum(result["prr_c"][:16]) > 15.0
+        assert all(p < 0.5 for p in result["prr_c"][16:])
+
+    def test_crowdedness_does_not_matter(self):
+        result = run_fig3cd(repeats=4)
+        assert all(p == 1.0 for p in result["prr_d"][:16])
+        assert all(p == 0.0 for p in result["prr_d"][16:])
+
+    def test_foreign_packets_block_own_tail(self):
+        result = run_fig3ef(repeats=4)
+        nets = result["network_of_node"]
+        gw1_own = [
+            p for p, n in zip(result["prr_gw1"], nets) if n == 1
+        ]
+        gw1_foreign = [
+            p for p, n in zip(result["prr_gw1"], nets) if n == 2
+        ]
+        assert all(p == 0.0 for p in gw1_foreign)  # filtered by sync word
+        assert gw1_own[-1] < 1.0  # late own packets lost to contention
+
+
+class TestFig5:
+    def test_fewer_channels_more_capacity(self):
+        result = run_fig5a()
+        caps = result["capacity"]
+        assert caps[0] == 16  # 8 channels/GW: the status quo
+        assert caps == sorted(caps)
+        assert caps[-1] >= 40  # 2 channels/GW approaches 48
+
+    def test_heterogeneous_beats_standard(self):
+        result = run_fig5b()
+        by_name = dict(zip(result["setting"], result["capacity"]))
+        assert by_name["standard"] == 16
+        assert by_name["setting1"] > by_name["standard"]
+        assert by_name["setting2"] > by_name["standard"]
+
+
+class TestFig6:
+    def test_adr_shrinks_cells(self):
+        result = run_fig6()
+        assert result["gateways_per_node_no_adr"] == pytest.approx(7, abs=1.5)
+        assert (
+            result["gateways_per_node_adr"]
+            < result["gateways_per_node_no_adr"] / 1.8
+        )
+
+    def test_local_adr_dr5_share_over_90pct(self):
+        result = run_fig6()
+        assert result["dr_distribution_local"][5] > 0.9
+
+    def test_ttn_adr_less_aggressive(self):
+        result = run_fig6()
+        assert (
+            result["dr_distribution_ttn"][5]
+            < result["dr_distribution_local"][5]
+        )
+
+
+class TestFig7:
+    def test_rejection_in_paper_range(self):
+        result = run_fig7()
+        off_beam = [r for r in result["rejection_db"] if r > 0]
+        assert all(14.0 <= r <= 40.0 for r in off_beam)
+
+    def test_most_directions_still_decodable(self):
+        # The punchline: despite 14-40 dB rejection, packets remain
+        # detectable and keep consuming decoders.
+        result = run_fig7()
+        assert sum(result["detectable"]) >= len(result["detectable"]) - 1
+
+
+class TestFig8:
+    def test_orthogonal_links_immune(self):
+        result = run_fig8(overlap_ratios=(0.2, 0.6, 1.0), trials=60)
+        assert all(p > 0.95 for p in result["weak_orth"])
+        assert all(p > 0.95 for p in result["strong_orth"])
+
+    def test_misalignment_rescues_nonorthogonal(self):
+        result = run_fig8(overlap_ratios=(0.4, 0.6, 0.9), trials=60)
+        series = result["strong_nonorth"]
+        assert series[0] > 0.8  # >=40 % misalignment: reliable
+        assert series[1] > 0.8
+        assert series[2] < 0.5  # aligned channels: collapse
+
+
+class TestFig16:
+    def test_baseline_threshold(self):
+        result = run_fig16()
+        assert result["baseline"] == pytest.approx(-13.0, abs=0.3)
+
+    def test_orthogonal_coexistence_harmless(self):
+        result = run_fig16()
+        assert abs(result["orth_20dbm"] - result["baseline"]) < 1.0
+
+    def test_nonorthogonal_shift_in_paper_range(self):
+        result = run_fig16()
+        shift = result["nonorth_20dbm"] - result["baseline"]
+        assert 2.0 < shift < 6.0  # paper: 3.3-3.7 dB
+
+
+class TestFig18:
+    def test_headline(self):
+        result = run_fig18()
+        assert result["fraction_below_6_5mhz"] > 0.7
+        assert result["num_regions"] == 200
+
+
+class TestTable4:
+    def test_measured_capacity_equals_decoders(self):
+        for row in run_table4():
+            assert row["measured_capacity"] == row["decoders"]
+            assert row["theory_capacity"] > row["measured_capacity"]

@@ -1,0 +1,132 @@
+"""Smoke tests for the heavyweight experiment drivers.
+
+The full parameter sweeps live in the benchmark suite; these runs use
+minimal parameters so every driver's plumbing (builders, planners,
+metrics plumbing, output schema) is exercised in the unit-test budget.
+"""
+
+import pytest
+
+from repro.experiments.ablation import run_ablation
+from repro.experiments.fig04 import run_fig4a, run_fig4b
+from repro.experiments.fig12 import (
+    run_fig12a,
+    run_fig12b,
+    run_fig12c,
+    run_fig12de,
+)
+from repro.experiments.fig13 import run_fig13
+from repro.experiments.fig14 import run_fig14
+from repro.experiments.fig15 import run_fig15
+from repro.experiments.fig17 import run_fig17a, run_fig17b
+from repro.experiments.fig21 import run_fig21
+from repro.experiments.strategies34 import run_strategy3, run_strategy4
+
+
+class TestFig4Smoke:
+    def test_fig4a_schema(self):
+        result = run_fig4a(user_scales=(500,))
+        assert result["users"] == [500]
+        row = result["breakdown"][0]
+        assert 0.0 <= row["prr"] <= 1.0
+        assert row["offered"] > 0
+
+    def test_fig4b_schema(self):
+        result = run_fig4b(network_counts=(2,))
+        row = result["breakdown"][0]
+        ratios = [
+            row[k]
+            for k in (
+                "prr",
+                "decoder_intra",
+                "decoder_inter",
+                "channel_intra",
+                "channel_inter",
+                "other",
+            )
+        ]
+        assert sum(ratios) == pytest.approx(1.0)
+
+
+class TestFig12Smoke:
+    def test_fig12a_point(self):
+        result = run_fig12a(gateway_counts=(5,), fast=True)
+        assert result["alphawan_full"][0] > result["standard"][0]
+
+    def test_fig12b_point(self):
+        result = run_fig12b(spectrum_channels=(8,), fast=True)
+        assert result["alphawan_full"][0] > result["standard"][0]
+
+    def test_fig12c_trials(self):
+        result = run_fig12c(trials=2, population=96, burst_size=48, num_gateways=4)
+        assert len(result["standard"]) == 2
+        assert all(v >= 0 for series in result.values() for v in series)
+
+    def test_fig12de_point(self):
+        result = run_fig12de(network_counts=(2,), overlap_ratios=(0.4,))
+        assert result["alphawan_40_per_network"][0] > (
+            result["standard_per_network"][0]
+        )
+
+
+class TestFig13Smoke:
+    def test_two_strategies_one_scale(self):
+        result = run_fig13(
+            user_scales=(2000,),
+            strategies=("lorawan_no_adr", "alphawan"),
+            loss_factor_scale=2000,
+            fast=True,
+        )
+        assert set(result["prr"]) == {"lorawan_no_adr", "alphawan"}
+        assert set(result["loss_factors"]) == {"lorawan_no_adr", "alphawan"}
+        for series in result["throughput_bps"].values():
+            assert series[0] > 0
+
+
+class TestCoexistenceSmoke:
+    def test_fig14_endpoints(self):
+        result = run_fig14(adoption_counts=(0, 4), fast=True)
+        assert sum(result["capacity"][1]) > sum(result["capacity"][0])
+
+    def test_fig15_single_load(self):
+        result = run_fig15(net2_loads=(32,), fast=True)
+        assert result["service_net1"][0] > 0.6
+        assert result["service_net2"][0] > 0.6
+
+
+class TestLatencySmoke:
+    def test_fig17a_one_scale(self):
+        result = run_fig17a(scales=({"users": 4000, "gateways": 4},))
+        assert result["total_s"][0] > result["reboot_s"][0]
+
+    def test_fig17b_two_networks(self):
+        result = run_fig17b(network_counts=(2,), users_per_network=1000)
+        assert result["master_comm_s"][0] > 0
+
+
+class TestLongTermSmoke:
+    def test_three_weeks(self):
+        result = run_fig21(weeks=3)
+        assert len(result["prr"]["standard"]) == 3
+        assert len(result["prr"]["alphawan"]) == 3
+        assert all(0.0 <= p <= 1.0 for p in result["prr"]["alphawan"])
+
+
+class TestExtensionsSmoke:
+    def test_ablation_small(self):
+        result = run_ablation(num_gateways=4, num_nodes=48)
+        assert set(result) == {
+            "full",
+            "no_cell_penalty",
+            "no_redundancy_penalty",
+            "no_seeding",
+            "tiny_ga",
+        }
+
+    def test_strategy3(self):
+        result = run_strategy3()
+        assert result["capacity"] == result["decoders"]
+
+    def test_strategy4(self):
+        result = run_strategy4()
+        assert result["capacity"] == sorted(result["capacity"])

@@ -1,0 +1,64 @@
+"""Tests for the COTS gateway catalog (Table 4)."""
+
+import pytest
+
+from repro.gateway.models import (
+    COTS_CATALOG,
+    DEFAULT_MODEL_NAME,
+    GatewayModel,
+    NUM_ORTHOGONAL_DRS,
+    get_model,
+)
+
+
+class TestCatalog:
+    def test_table4_entries_present(self):
+        for name in (
+            "LPS8N",
+            "LPS8V2",
+            "RAK7246G",
+            "RAK7268CV2",
+            "RAK7289CV2",
+            "Wirnet iBTS",
+            "Wirnet iFemtoCell",
+        ):
+            assert name in COTS_CATALOG
+
+    def test_default_is_case_study_gateway(self):
+        assert get_model().name == DEFAULT_MODEL_NAME == "RAK7268CV2"
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            get_model("SuperGateway9000")
+
+    def test_sx1302_has_16_decoders(self):
+        assert get_model("RAK7268CV2").decoders == 16
+
+    def test_sx1303_dual_radio(self):
+        model = get_model("RAK7289CV2")
+        assert model.decoders == 32
+        assert model.rx_spectrum_hz == pytest.approx(3.2e6)
+        assert model.max_channels == 16
+
+    def test_sx1301_sx1308_have_8_decoders(self):
+        assert get_model("RAK7246G").decoders == 8
+        assert get_model("Wirnet iBTS").decoders == 8
+
+
+class TestCapacities:
+    def test_theory_capacity_16mhz_radios(self):
+        # Table 4: 54 for the 1.6 MHz radios (8+1 chains x 6 DRs).
+        assert get_model("RAK7268CV2").theoretical_capacity == 54
+
+    def test_theory_capacity_sx1303(self):
+        assert get_model("RAK7289CV2").theoretical_capacity == 108
+
+    def test_no_model_covers_its_theory_capacity(self):
+        # The decoder contention problem in one line: every COTS product
+        # has fewer decoders than its spectrum's orthogonal capacity.
+        for model in COTS_CATALOG.values():
+            assert model.practical_capacity < model.theoretical_capacity
+
+    def test_practical_capacity_is_decoders(self):
+        for model in COTS_CATALOG.values():
+            assert model.practical_capacity == model.decoders

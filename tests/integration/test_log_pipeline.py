@@ -1,0 +1,76 @@
+"""Property test: the log pipeline is lossless end to end.
+
+Whatever the network server logs must survive formatting, parsing, and
+estimation without corruption — the CP solver's inputs are only as good
+as this pipeline (paper section 4.3.3).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.log_parser import parse_log
+from repro.core.traffic_estimator import TrafficEstimator
+from repro.netserver.records import UplinkRecord, format_log_line
+
+
+@st.composite
+def record_streams(draw):
+    n = draw(st.integers(min_value=1, max_value=40))
+    records = []
+    t = 0.0
+    for i in range(n):
+        t += draw(st.floats(min_value=0.01, max_value=30.0))
+        records.append(
+            UplinkRecord(
+                timestamp_s=round(t, 6),
+                gateway_id=draw(st.integers(0, 20)),
+                network_id=1,
+                node_id=draw(st.integers(0, 50)),
+                counter=i,
+                frequency_hz=923_100_000.0
+                + draw(st.integers(0, 7)) * 200_000.0,
+                dr=draw(st.integers(0, 5)),
+                snr_db=round(draw(st.floats(-25, 15)), 2),
+                rssi_dbm=round(draw(st.floats(-140, -60)), 2),
+                payload_bytes=draw(st.integers(1, 64)),
+            )
+        )
+    return records
+
+
+class TestLogPipeline:
+    @given(record_streams())
+    @settings(max_examples=25, deadline=None)
+    def test_format_parse_lossless(self, records):
+        lines = [format_log_line(r) for r in records]
+        parsed, stats = parse_log(lines)
+        assert parsed == records
+        assert stats.malformed == 0
+
+    @given(record_streams())
+    @settings(max_examples=25, deadline=None)
+    def test_estimator_conserves_airtime(self, records):
+        """The summed window loads equal the deduped airtime fraction."""
+        from repro.phy.lora import DataRate, DR_TO_SF, time_on_air_s
+
+        estimator = TrafficEstimator(window_s=100.0)
+        windows = estimator.windows(records)
+        total_load = sum(w.total_load for w in windows)
+        deduped = TrafficEstimator.dedup(records)
+        expected = sum(
+            time_on_air_s(r.payload_bytes, DR_TO_SF[DataRate(r.dr)]) / 100.0
+            for r in deduped
+        )
+        assert total_load == pytest.approx(expected)
+
+    @given(record_streams())
+    @settings(max_examples=25, deadline=None)
+    def test_peak_demand_bounded_by_windows(self, records):
+        estimator = TrafficEstimator(window_s=100.0)
+        demand = estimator.peak_demand(records, top_k=2)
+        windows = estimator.windows(records)
+        for node, load in demand.items():
+            per_window = [
+                w.node_load.get(node, 0.0) for w in windows
+            ]
+            assert load <= max(per_window) + 1e-12

@@ -1,0 +1,143 @@
+"""Tests for LoRaWAN frame encoding/decoding."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lorawan.frames import (
+    DataFrame,
+    FrameError,
+    MType,
+    make_dev_addr,
+    nwk_id_of,
+)
+from repro.lorawan.keys import derive_session_keys
+
+KEYS = derive_session_keys(bytes(range(16)), 7, 9)
+ADDR = make_dev_addr(nwk_id=5, nwk_addr=1234)
+
+
+def frame(**kwargs):
+    defaults = dict(
+        mtype=MType.UNCONFIRMED_UP,
+        dev_addr=ADDR,
+        fcnt=42,
+        payload=b"\x01\x02\x03",
+        fport=1,
+    )
+    defaults.update(kwargs)
+    return DataFrame(**defaults)
+
+
+class TestDevAddr:
+    def test_roundtrip(self):
+        addr = make_dev_addr(0x55, 0x1ABCDEF)
+        assert nwk_id_of(addr) == 0x55
+
+    def test_rejects_wide_fields(self):
+        with pytest.raises(ValueError):
+            make_dev_addr(1 << 7, 0)
+        with pytest.raises(ValueError):
+            make_dev_addr(0, 1 << 25)
+
+
+class TestValidation:
+    def test_payload_needs_fport(self):
+        with pytest.raises(ValueError):
+            frame(fport=None)
+
+    def test_fopts_limit(self):
+        with pytest.raises(ValueError):
+            frame(fopts=bytes(16))
+
+    def test_join_types_rejected(self):
+        with pytest.raises(ValueError):
+            frame(mtype=MType.JOIN_REQUEST)
+
+    def test_fcnt_range(self):
+        with pytest.raises(ValueError):
+            frame(fcnt=1 << 16)
+
+
+class TestRoundtrip:
+    def test_basic(self):
+        f = frame()
+        parsed = DataFrame.decode(f.encode(KEYS.nwk_s_key), KEYS.nwk_s_key)
+        assert parsed == f
+
+    def test_flags_and_fopts(self):
+        f = frame(adr=True, ack=True, fopts=b"\x03\x07")
+        parsed = DataFrame.decode(f.encode(KEYS.nwk_s_key), KEYS.nwk_s_key)
+        assert parsed.adr and parsed.ack
+        assert parsed.fopts == b"\x03\x07"
+
+    def test_empty_payload_no_fport(self):
+        f = frame(payload=b"", fport=None)
+        parsed = DataFrame.decode(f.encode(KEYS.nwk_s_key), KEYS.nwk_s_key)
+        assert parsed.payload == b""
+        assert parsed.fport is None
+
+    def test_downlink(self):
+        f = frame(mtype=MType.UNCONFIRMED_DOWN)
+        parsed = DataFrame.decode(f.encode(KEYS.nwk_s_key), KEYS.nwk_s_key)
+        assert parsed.mtype is MType.UNCONFIRMED_DOWN
+        assert not parsed.is_uplink
+
+    @given(
+        payload=st.binary(max_size=64),
+        fcnt=st.integers(min_value=0, max_value=65535),
+        fopts=st.binary(max_size=15),
+        adr=st.booleans(),
+        ack=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_roundtrip(self, payload, fcnt, fopts, adr, ack):
+        f = frame(
+            payload=payload,
+            fport=1 if payload else None,
+            fcnt=fcnt,
+            fopts=fopts,
+            adr=adr,
+            ack=ack,
+        )
+        parsed = DataFrame.decode(f.encode(KEYS.nwk_s_key), KEYS.nwk_s_key)
+        assert parsed == f
+
+    def test_wire_size_matches_encoding(self):
+        f = frame()
+        assert f.wire_size == len(f.encode(KEYS.nwk_s_key))
+
+
+class TestIntegrity:
+    def test_bit_flip_detected(self):
+        data = bytearray(frame().encode(KEYS.nwk_s_key))
+        data[6] ^= 0x01
+        with pytest.raises(FrameError):
+            DataFrame.decode(bytes(data), KEYS.nwk_s_key)
+
+    def test_wrong_key_detected(self):
+        other = derive_session_keys(bytes(range(16)), 8, 9)
+        data = frame().encode(KEYS.nwk_s_key)
+        with pytest.raises(FrameError):
+            DataFrame.decode(data, other.nwk_s_key)
+
+    def test_structure_parse_without_key(self):
+        data = frame().encode(KEYS.nwk_s_key)
+        parsed = DataFrame.decode(data)  # no MIC check
+        assert parsed.dev_addr == ADDR
+
+    def test_truncated_frame(self):
+        with pytest.raises(FrameError):
+            DataFrame.decode(b"\x40\x01\x02")
+
+    def test_unknown_mtype(self):
+        data = bytearray(frame().encode(KEYS.nwk_s_key))
+        data[0] = 0b1110_0000  # proprietary
+        with pytest.raises(FrameError):
+            DataFrame.decode(bytes(data))
+
+    def test_fopts_overrun(self):
+        f = frame(payload=b"", fport=None)
+        data = bytearray(f.encode(KEYS.nwk_s_key))
+        data[5] |= 0x0F  # claim 15 FOpts bytes that are not there
+        with pytest.raises(FrameError):
+            DataFrame.decode(bytes(data))

@@ -1,0 +1,96 @@
+"""Tests for over-the-air activation frames."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lorawan.frames import FrameError, nwk_id_of
+from repro.lorawan.join import JoinAccept, JoinRequest, perform_join
+from repro.lorawan.keys import derive_session_keys
+
+APP_KEY = bytes(range(16))
+
+
+class TestJoinRequest:
+    def test_roundtrip(self):
+        req = JoinRequest(join_eui=0xA1B2, dev_eui=0xC3D4E5, dev_nonce=77)
+        assert JoinRequest.decode(req.encode(APP_KEY), APP_KEY) == req
+
+    def test_fixed_length(self):
+        req = JoinRequest(join_eui=1, dev_eui=2, dev_nonce=3)
+        assert len(req.encode(APP_KEY)) == 23
+
+    def test_wrong_key_rejected(self):
+        data = JoinRequest(join_eui=1, dev_eui=2, dev_nonce=3).encode(APP_KEY)
+        with pytest.raises(FrameError):
+            JoinRequest.decode(data, app_key=bytes(16))
+
+    def test_truncated_rejected(self):
+        data = JoinRequest(join_eui=1, dev_eui=2, dev_nonce=3).encode(APP_KEY)
+        with pytest.raises(FrameError):
+            JoinRequest.decode(data[:-1])
+
+    def test_wrong_mtype_rejected(self):
+        data = bytearray(
+            JoinRequest(join_eui=1, dev_eui=2, dev_nonce=3).encode(APP_KEY)
+        )
+        data[0] = 0x40  # unconfirmed uplink
+        with pytest.raises(FrameError):
+            JoinRequest.decode(bytes(data))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JoinRequest(join_eui=1 << 64, dev_eui=0, dev_nonce=0)
+        with pytest.raises(ValueError):
+            JoinRequest(join_eui=0, dev_eui=0, dev_nonce=1 << 16)
+
+    @given(
+        join_eui=st.integers(0, (1 << 64) - 1),
+        dev_eui=st.integers(0, (1 << 64) - 1),
+        nonce=st.integers(0, (1 << 16) - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_roundtrip(self, join_eui, dev_eui, nonce):
+        req = JoinRequest(join_eui=join_eui, dev_eui=dev_eui, dev_nonce=nonce)
+        assert JoinRequest.decode(req.encode(APP_KEY), APP_KEY) == req
+
+
+class TestJoinAccept:
+    def test_roundtrip(self):
+        acc = JoinAccept(join_nonce=9, net_id=5, dev_addr=0x0A00_0001)
+        assert JoinAccept.decode(acc.encode(APP_KEY), APP_KEY) == acc
+
+    def test_fixed_length(self):
+        acc = JoinAccept(join_nonce=1, net_id=2, dev_addr=3)
+        assert len(acc.encode(APP_KEY)) == 15
+
+    def test_tamper_detected(self):
+        data = bytearray(
+            JoinAccept(join_nonce=1, net_id=2, dev_addr=3).encode(APP_KEY)
+        )
+        data[5] ^= 0x01
+        with pytest.raises(FrameError):
+            JoinAccept.decode(bytes(data), APP_KEY)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JoinAccept(join_nonce=1 << 24, net_id=0, dev_addr=0)
+
+
+class TestPerformJoin:
+    def test_keys_match_direct_derivation(self):
+        request, accept, keys = perform_join(
+            APP_KEY,
+            dev_eui=42,
+            dev_nonce=7,
+            nwk_id=3,
+            nwk_addr=1000,
+            join_nonce=11,
+        )
+        assert keys == derive_session_keys(APP_KEY, 7, 11)
+        acc = JoinAccept.decode(accept, APP_KEY)
+        assert nwk_id_of(acc.dev_addr) == 3
+
+    def test_distinct_nonces_distinct_keys(self):
+        _, _, k1 = perform_join(APP_KEY, 42, 1, 3, 1000, 11)
+        _, _, k2 = perform_join(APP_KEY, 42, 2, 3, 1000, 11)
+        assert k1 != k2

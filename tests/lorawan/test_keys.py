@@ -1,0 +1,69 @@
+"""Tests for session-key derivation and MICs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.lorawan.keys import (
+    MIC_LEN,
+    SessionKeys,
+    compute_mic,
+    derive_session_keys,
+)
+
+APP_KEY = bytes(range(16))
+
+
+class TestDerivation:
+    def test_deterministic(self):
+        a = derive_session_keys(APP_KEY, 1, 2)
+        b = derive_session_keys(APP_KEY, 1, 2)
+        assert a == b
+
+    def test_key_separation(self):
+        keys = derive_session_keys(APP_KEY, 1, 2)
+        assert keys.nwk_s_key != keys.app_s_key
+
+    def test_nonce_sensitivity(self):
+        a = derive_session_keys(APP_KEY, 1, 2)
+        b = derive_session_keys(APP_KEY, 2, 2)
+        c = derive_session_keys(APP_KEY, 1, 3)
+        assert len({a.nwk_s_key, b.nwk_s_key, c.nwk_s_key}) == 3
+
+    def test_rejects_bad_app_key(self):
+        with pytest.raises(ValueError):
+            derive_session_keys(b"short", 1, 2)
+
+    def test_rejects_bad_nonces(self):
+        with pytest.raises(ValueError):
+            derive_session_keys(APP_KEY, 1 << 16, 0)
+        with pytest.raises(ValueError):
+            derive_session_keys(APP_KEY, 0, 1 << 24)
+
+    def test_session_keys_validated(self):
+        with pytest.raises(ValueError):
+            SessionKeys(nwk_s_key=b"x", app_s_key=bytes(16))
+
+
+class TestMic:
+    def test_length(self):
+        keys = derive_session_keys(APP_KEY, 1, 1)
+        assert len(compute_mic(keys.nwk_s_key, b"hello")) == MIC_LEN
+
+    def test_key_dependence(self):
+        a = derive_session_keys(APP_KEY, 1, 1)
+        b = derive_session_keys(APP_KEY, 2, 1)
+        assert compute_mic(a.nwk_s_key, b"hello") != compute_mic(
+            b.nwk_s_key, b"hello"
+        )
+
+    @given(st.binary(max_size=64), st.binary(max_size=64))
+    def test_data_dependence(self, d1, d2):
+        keys = derive_session_keys(APP_KEY, 1, 1)
+        if d1 != d2:
+            assert compute_mic(keys.nwk_s_key, d1) != compute_mic(
+                keys.nwk_s_key, d2
+            )
+
+    def test_rejects_short_key(self):
+        with pytest.raises(ValueError):
+            compute_mic(b"short", b"data")

@@ -1,0 +1,106 @@
+"""Tests for MAC command encoding/decoding."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lorawan.mac_commands import (
+    LinkADRAns,
+    LinkADRReq,
+    MacCommandError,
+    NewChannelAns,
+    NewChannelReq,
+    decode_commands,
+    encode_commands,
+)
+
+
+class TestLinkADR:
+    def test_roundtrip(self):
+        req = LinkADRReq(
+            data_rate=4, tx_power_index=2, channel_mask=0b1010, nb_trans=3
+        )
+        (parsed,) = decode_commands(req.encode(), uplink=False)
+        assert parsed == req
+
+    def test_enabled_channels(self):
+        req = LinkADRReq(data_rate=0, tx_power_index=0, channel_mask=0b1010)
+        assert req.enabled_channels() == [1, 3]
+
+    def test_ans_roundtrip(self):
+        ans = LinkADRAns(channel_mask_ok=True, data_rate_ok=False, power_ok=True)
+        (parsed,) = decode_commands(ans.encode(), uplink=True)
+        assert parsed == ans
+        assert not parsed.accepted
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkADRReq(data_rate=16, tx_power_index=0, channel_mask=1)
+        with pytest.raises(ValueError):
+            LinkADRReq(data_rate=0, tx_power_index=0, channel_mask=1 << 16)
+        with pytest.raises(ValueError):
+            LinkADRReq(data_rate=0, tx_power_index=0, channel_mask=1, nb_trans=0)
+
+    @given(
+        dr=st.integers(0, 15),
+        txp=st.integers(0, 15),
+        mask=st.integers(0, (1 << 16) - 1),
+        nb=st.integers(1, 15),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_roundtrip(self, dr, txp, mask, nb):
+        req = LinkADRReq(dr, txp, mask, nb)
+        (parsed,) = decode_commands(req.encode(), uplink=False)
+        assert parsed == req
+
+
+class TestNewChannel:
+    def test_roundtrip(self):
+        req = NewChannelReq(index=3, frequency_hz=923_175_000.0, min_dr=0, max_dr=5)
+        (parsed,) = decode_commands(req.encode(), uplink=False)
+        assert parsed.index == 3
+        assert parsed.frequency_hz == pytest.approx(923_175_000.0, abs=50)
+        assert parsed.min_dr == 0 and parsed.max_dr == 5
+
+    def test_frequency_resolution_100hz(self):
+        # Misaligned AlphaWAN channels (e.g. +33.3 kHz shifts) must be
+        # expressible: the command's resolution is 100 Hz.
+        req = NewChannelReq(index=0, frequency_hz=923_133_300.0)
+        (parsed,) = decode_commands(req.encode(), uplink=False)
+        assert parsed.frequency_hz == pytest.approx(923_133_300.0, abs=50)
+
+    def test_ans_roundtrip(self):
+        ans = NewChannelAns(frequency_ok=True, dr_range_ok=True)
+        (parsed,) = decode_commands(ans.encode(), uplink=True)
+        assert parsed.accepted
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NewChannelReq(index=256, frequency_hz=923e6)
+        with pytest.raises(ValueError):
+            NewChannelReq(index=0, frequency_hz=923e6, min_dr=4, max_dr=2)
+
+
+class TestBlobs:
+    def test_multiple_commands(self):
+        blob = encode_commands(
+            [
+                NewChannelReq(index=0, frequency_hz=923.1e6),
+                NewChannelReq(index=1, frequency_hz=923.3e6),
+                LinkADRReq(data_rate=5, tx_power_index=1, channel_mask=0b11),
+            ]
+        )
+        parsed = decode_commands(blob, uplink=False)
+        assert len(parsed) == 3
+        assert isinstance(parsed[2], LinkADRReq)
+
+    def test_unknown_cid(self):
+        with pytest.raises(MacCommandError):
+            decode_commands(b"\xff\x00", uplink=False)
+
+    def test_truncation(self):
+        blob = LinkADRReq(0, 0, 1).encode()[:-1]
+        with pytest.raises(MacCommandError):
+            decode_commands(blob, uplink=False)
+
+    def test_empty_blob(self):
+        assert decode_commands(b"", uplink=False) == []

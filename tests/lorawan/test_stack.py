@@ -1,0 +1,158 @@
+"""Tests for the device/server MAC sessions and commissioning."""
+
+import pytest
+
+from repro.core.commissioning import apply_plan_via_mac, commission_network
+from repro.core.evolutionary import GAConfig
+from repro.core.intra_planner import IntraNetworkPlanner, PlannerConfig
+from repro.lorawan.stack import MAC_PORT, ServerMac
+from repro.node.adr import POWER_STEPS_DBM
+from repro.phy.channels import Channel
+from repro.phy.lora import DataRate
+from repro.sim.scenario import assign_orthogonal_combos, build_network
+
+APP_KEY = bytes(range(16))
+
+
+@pytest.fixture
+def joined(compact_network):
+    server = ServerMac(nwk_id=1)
+    dev = compact_network.devices[0]
+    mac = server.join(dev, APP_KEY, dev_nonce=dev.node_id)
+    return server, mac, dev
+
+
+class TestJoin:
+    def test_join_creates_session(self, joined):
+        server, mac, _dev = joined
+        assert server.session_count() == 1
+        assert mac.dev_addr >> 25 == 1  # NwkID embedded
+
+    def test_distinct_devices_distinct_addresses(self, compact_network):
+        server = ServerMac(nwk_id=1)
+        addrs = {
+            server.join(dev, APP_KEY, dev.node_id).dev_addr
+            for dev in compact_network.devices
+        }
+        assert len(addrs) == len(compact_network.devices)
+
+    def test_rejects_wide_nwk_id(self):
+        with pytest.raises(ValueError):
+            ServerMac(nwk_id=200)
+
+
+class TestUplinkPath:
+    def test_valid_uplink_accepted(self, joined):
+        server, mac, _dev = joined
+        frame = server.validate_uplink(mac.build_uplink(b"hi"))
+        assert frame is not None
+        assert frame.payload == b"hi"
+
+    def test_fcnt_increments(self, joined):
+        _server, mac, _dev = joined
+        mac.build_uplink(b"a")
+        mac.build_uplink(b"b")
+        assert mac.fcnt_up == 2
+
+    def test_foreign_network_rejected(self, joined):
+        server, mac, _dev = joined
+        other = ServerMac(nwk_id=2)
+        assert other.validate_uplink(mac.build_uplink(b"hi")) is None
+
+    def test_tampered_uplink_rejected(self, joined):
+        server, mac, _dev = joined
+        data = bytearray(mac.build_uplink(b"hi"))
+        data[-6] ^= 0xFF
+        assert server.validate_uplink(bytes(data)) is None
+
+    def test_unjoined_device_rejected(self, joined):
+        server, mac, _dev = joined
+        from repro.lorawan.frames import DataFrame, MType, make_dev_addr
+        from repro.lorawan.keys import derive_session_keys
+
+        ghost_keys = derive_session_keys(APP_KEY, 999, 999)
+        ghost = DataFrame(
+            mtype=MType.UNCONFIRMED_UP,
+            dev_addr=make_dev_addr(1, 999_999),
+            fcnt=0,
+            payload=b"x",
+            fport=1,
+        )
+        assert server.validate_uplink(ghost.encode(ghost_keys.nwk_s_key)) is None
+
+
+class TestConfigDownlink:
+    def test_device_applies_channel_and_dr(self, joined):
+        server, mac, dev = joined
+        target = Channel(923_333_300.0)
+        downlink = server.build_config_downlink(
+            mac.dev_addr, [target], DataRate.DR4, 10.0
+        )
+        answer = mac.handle_downlink(downlink)
+        assert dev.channel.center_hz == pytest.approx(target.center_hz, abs=50)
+        assert dev.dr is DataRate.DR4
+        assert dev.tx_power_dbm == 10.0
+        frame = server.validate_uplink(answer)
+        assert frame is not None and frame.fport == MAC_PORT
+
+    def test_power_snaps_to_ladder(self, joined):
+        server, mac, dev = joined
+        downlink = server.build_config_downlink(
+            mac.dev_addr, [Channel(923.1e6)], DataRate.DR3, 11.2
+        )
+        mac.handle_downlink(downlink)
+        assert dev.tx_power_dbm in POWER_STEPS_DBM
+
+    def test_wrong_address_rejected(self, compact_network):
+        server = ServerMac(nwk_id=1)
+        mac_a = server.join(compact_network.devices[0], APP_KEY, 1)
+        mac_b = server.join(compact_network.devices[1], APP_KEY, 2)
+        downlink = server.build_config_downlink(
+            mac_a.dev_addr, [Channel(923.1e6)], DataRate.DR3, 14.0
+        )
+        from repro.lorawan.frames import FrameError
+
+        with pytest.raises(FrameError):
+            mac_b.handle_downlink(downlink)
+
+    def test_unknown_dev_addr(self, joined):
+        server, _mac, _dev = joined
+        with pytest.raises(KeyError):
+            server.build_config_downlink(
+                0xDEADBEEF, [Channel(923.1e6)], DataRate.DR3, 14.0
+            )
+
+
+class TestCommissioning:
+    def test_plan_rollout_over_mac(self, grid_16, link):
+        net = build_network(
+            1, 3, 24, grid_16.channels(), seed=2, width_m=250, height_m=250
+        )
+        assign_orthogonal_combos(net.devices, grid_16.channels())
+        planner = IntraNetworkPlanner(
+            net,
+            grid_16.channels(),
+            link=link,
+            config=PlannerConfig(
+                ga=GAConfig(population=24, generations=25, seed=1, patience=10)
+            ),
+        )
+        outcome = planner.plan()
+        report = apply_plan_via_mac(net, outcome)
+        assert report.fully_accepted
+        assert report.devices_configured == 24
+        # The MAC path produced exactly the planned configuration.
+        for i, dev in enumerate(net.devices):
+            planned = outcome.cp_input.channels[
+                outcome.solution.node_channels[i]
+            ]
+            assert dev.channel.center_hz == pytest.approx(
+                planned.center_hz, abs=50
+            )
+            tier = outcome.cp_input.tiers[outcome.solution.node_tiers[i]]
+            assert dev.dr is tier.dr
+
+    def test_commission_network_joins_everyone(self, compact_network):
+        server, macs = commission_network(compact_network)
+        assert server.session_count() == len(compact_network.devices)
+        assert set(macs) == {d.node_id for d in compact_network.devices}

@@ -1,0 +1,50 @@
+"""Tests for uplink records and the log line format."""
+
+import pytest
+
+from repro.netserver.records import LOG_FIELDS, UplinkRecord, format_log_line
+
+
+def make_record(**kwargs):
+    defaults = dict(
+        timestamp_s=12.345678,
+        gateway_id=3,
+        network_id=1,
+        node_id=42,
+        counter=7,
+        frequency_hz=923_100_000.0,
+        dr=5,
+        snr_db=8.25,
+        rssi_dbm=-97.5,
+        payload_bytes=10,
+    )
+    defaults.update(kwargs)
+    return UplinkRecord(**defaults)
+
+
+class TestRecord:
+    def test_key_identifies_uplink_not_gateway(self):
+        a = make_record(gateway_id=1)
+        b = make_record(gateway_id=2)
+        assert a.key() == b.key()
+
+    def test_key_differs_per_counter(self):
+        assert make_record(counter=1).key() != make_record(counter=2).key()
+
+
+class TestLogFormat:
+    def test_prefix_and_fields(self):
+        line = format_log_line(make_record())
+        assert line.startswith("up ")
+        for field in LOG_FIELDS:
+            assert f"{field}=" in line
+
+    def test_values_serialized(self):
+        line = format_log_line(make_record())
+        assert "gw=3" in line
+        assert "dev=42" in line
+        assert "freq=923100000" in line
+        assert "snr=8.25" in line
+
+    def test_single_line(self):
+        assert "\n" not in format_log_line(make_record())

@@ -1,0 +1,106 @@
+"""Tests for the network server: registration, dedup, downlink config."""
+
+import pytest
+
+from repro.gateway.gateway import GatewayReception, Outcome
+from repro.netserver.server import NetworkServer
+from repro.node.traffic import capacity_burst
+from repro.phy.lora import DataRate
+from repro.sim.simulator import Simulator
+
+
+@pytest.fixture
+def server(compact_network):
+    return NetworkServer(
+        network_id=1,
+        gateways=compact_network.gateways,
+        devices=compact_network.devices,
+    )
+
+
+class TestRegistration:
+    def test_rejects_foreign_gateway(self, compact_network):
+        server = NetworkServer(network_id=2)
+        with pytest.raises(ValueError):
+            server.register_gateway(compact_network.gateways[0])
+
+    def test_rejects_foreign_device(self, compact_network):
+        server = NetworkServer(network_id=2)
+        with pytest.raises(ValueError):
+            server.register_device(compact_network.devices[0])
+
+
+class TestUplinkIngest(object):
+    def _run(self, compact_network, link):
+        sim = Simulator(
+            compact_network.gateways, compact_network.devices, link=link
+        )
+        return sim.run(capacity_burst(compact_network.devices))
+
+    def test_ingest_produces_records(self, server, compact_network, link):
+        result = self._run(compact_network, link)
+        receptions = [r for recs in result.receptions.values() for r in recs]
+        fresh = server.ingest(receptions)
+        assert len(fresh) == result.delivered_count()
+
+    def test_dedup_across_gateways(self, plan_16, link):
+        from repro.sim.scenario import assign_orthogonal_combos, build_network
+
+        net = build_network(
+            1, 3, 10, list(plan_16), seed=0, width_m=150, height_m=150
+        )
+        assign_orthogonal_combos(net.devices, list(plan_16))
+        server = NetworkServer(1, net.gateways, net.devices)
+        sim = Simulator(net.gateways, net.devices, link=link)
+        result = sim.run(capacity_burst(net.devices))
+        receptions = [r for recs in result.receptions.values() for r in recs]
+        fresh = server.ingest(receptions)
+        assert len(fresh) == result.delivered_count()
+        assert server.duplicates > 0  # several gateways heard each packet
+
+    def test_non_received_outcomes_ignored(self, server, compact_network, link):
+        result = self._run(compact_network, link)
+        dropped = [
+            r
+            for recs in result.receptions.values()
+            for r in recs
+            if not r.received
+        ]
+        assert server.ingest(dropped) == []
+
+    def test_log_lines_parseable_shape(self, server, compact_network, link):
+        result = self._run(compact_network, link)
+        receptions = [r for recs in result.receptions.values() for r in recs]
+        server.ingest(receptions)
+        lines = server.log_lines()
+        assert lines and all(l.startswith("up ") for l in lines)
+
+    def test_clear_resets(self, server, compact_network, link):
+        result = self._run(compact_network, link)
+        receptions = [r for recs in result.receptions.values() for r in recs]
+        server.ingest(receptions)
+        server.clear()
+        assert server.records == []
+        assert server.ingest(receptions)  # re-ingest works after clear
+
+
+class TestDownlink:
+    def test_configure_gateway(self, server, compact_network, plan_16):
+        gw = compact_network.gateways[0]
+        server.configure_gateway(gw.gateway_id, list(plan_16)[:2])
+        assert len(gw.channels) == 2
+        assert gw.reboots == 1
+
+    def test_configure_unknown_gateway(self, server, plan_16):
+        with pytest.raises(KeyError):
+            server.configure_gateway(999, list(plan_16))
+
+    def test_configure_device(self, server, compact_network):
+        dev = compact_network.devices[0]
+        server.configure_device(dev.node_id, dr=DataRate.DR1, tx_power_dbm=8.0)
+        assert dev.dr is DataRate.DR1
+        assert dev.tx_power_dbm == 8.0
+
+    def test_configure_unknown_device(self, server):
+        with pytest.raises(KeyError):
+            server.configure_device(424242, dr=DataRate.DR1)

@@ -1,0 +1,62 @@
+"""Tests for the standard LoRaWAN ADR algorithm."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.node.adr import ADR_MARGIN_DB, POWER_STEPS_DBM, adr_decision
+from repro.phy.lora import DataRate
+
+
+class TestAdrDecision:
+    def test_strong_link_goes_dr5(self):
+        decision = adr_decision(10.0, current_dr=DataRate.DR0)
+        assert decision.dr is DataRate.DR5
+
+    def test_very_strong_link_also_drops_power(self):
+        decision = adr_decision(25.0, current_dr=DataRate.DR0)
+        assert decision.dr is DataRate.DR5
+        assert decision.tx_power_dbm < POWER_STEPS_DBM[0]
+
+    def test_weak_link_keeps_dr0(self):
+        decision = adr_decision(-20.0, current_dr=DataRate.DR0)
+        assert decision.dr is DataRate.DR0
+        assert decision.tx_power_dbm == POWER_STEPS_DBM[0]
+
+    def test_moderate_link_partial_raise(self):
+        # SNR -10: margin over SF12 (-23) minus 10 dB install = 3 dB -> 1 step.
+        decision = adr_decision(-10.0, current_dr=DataRate.DR0)
+        assert decision.dr is DataRate.DR1
+
+    def test_negative_margin_restores_power(self):
+        decision = adr_decision(
+            -30.0, current_dr=DataRate.DR0, current_power_dbm=4.0
+        )
+        assert decision.tx_power_dbm > 4.0
+
+    def test_power_never_exceeds_ladder_top(self):
+        decision = adr_decision(-60.0, current_power_dbm=14.0)
+        assert decision.tx_power_dbm == POWER_STEPS_DBM[0]
+
+    def test_power_never_below_ladder_bottom(self):
+        decision = adr_decision(60.0)
+        assert decision.tx_power_dbm == POWER_STEPS_DBM[-1]
+
+    @given(snr=st.floats(min_value=-40, max_value=40))
+    def test_dr_monotone_in_snr(self, snr):
+        lo = adr_decision(snr)
+        hi = adr_decision(snr + 3.0)
+        assert hi.dr >= lo.dr
+
+    @given(
+        snr=st.floats(min_value=-40, max_value=40),
+        dr=st.sampled_from(list(DataRate)),
+    )
+    def test_output_always_valid(self, snr, dr):
+        decision = adr_decision(snr, current_dr=dr)
+        assert decision.dr in list(DataRate)
+        assert decision.tx_power_dbm in POWER_STEPS_DBM
+
+    def test_custom_margin_shifts_behavior(self):
+        aggressive = adr_decision(0.0, margin_db=5.0)
+        conservative = adr_decision(0.0, margin_db=20.0)
+        assert aggressive.dr >= conservative.dr

@@ -1,0 +1,67 @@
+"""Tests for the end-device model."""
+
+import pytest
+
+from repro.node.device import EndDevice
+from repro.phy.channels import Channel
+from repro.phy.link import Position
+from repro.phy.lora import DataRate, SpreadingFactor
+
+CH = Channel(923_100_000.0)
+CH2 = Channel(923_300_000.0)
+
+
+def make_device(**kwargs):
+    defaults = dict(
+        node_id=1,
+        network_id=1,
+        position=Position(0, 0),
+        channel=CH,
+        dr=DataRate.DR3,
+    )
+    defaults.update(kwargs)
+    return EndDevice(**defaults)
+
+
+class TestConfig:
+    def test_sf_tracks_dr(self):
+        dev = make_device(dr=DataRate.DR5)
+        assert dev.sf is SpreadingFactor.SF7
+        dev.apply_config(dr=DataRate.DR0)
+        assert dev.sf is SpreadingFactor.SF12
+
+    def test_apply_partial_config(self):
+        dev = make_device()
+        dev.apply_config(channel=CH2)
+        assert dev.channel == CH2
+        assert dev.dr is DataRate.DR3  # unchanged
+
+    def test_rejects_nonpositive_power(self):
+        dev = make_device()
+        with pytest.raises(ValueError):
+            dev.apply_config(tx_power_dbm=0.0)
+
+    def test_dr_coerced_to_enum(self):
+        dev = make_device()
+        dev.apply_config(dr=4)
+        assert dev.dr is DataRate.DR4
+
+
+class TestTransmit:
+    def test_transmission_reflects_config(self):
+        dev = make_device(dr=DataRate.DR2, tx_power_dbm=12.0)
+        tx = dev.transmit(5.0)
+        assert tx.channel == CH
+        assert tx.sf is SpreadingFactor.SF10
+        assert tx.start_s == 5.0
+        assert tx.tx_power_dbm == 12.0
+
+    def test_counter_increments(self):
+        dev = make_device()
+        assert dev.transmit(0.0).counter == 0
+        assert dev.transmit(1.0).counter == 1
+        assert dev.transmit(2.0).counter == 2
+
+    def test_network_id_carried(self):
+        dev = make_device(network_id=7)
+        assert dev.transmit(0.0).network_id == 7

@@ -1,0 +1,163 @@
+"""Tests for LoRa modulation parameters and airtime."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.phy.lora import (
+    CodingRate,
+    DataRate,
+    DR_TO_SF,
+    LoRaParams,
+    SF_TO_DR,
+    SNR_THRESHOLD_DB,
+    SpreadingFactor,
+    bitrate_bps,
+    preamble_duration_s,
+    snr_threshold_db,
+    symbol_time_s,
+    time_on_air_s,
+)
+
+ALL_SF = list(SpreadingFactor)
+
+
+class TestSymbolTime:
+    def test_sf7_125khz(self):
+        assert symbol_time_s(SpreadingFactor.SF7, 125_000) == pytest.approx(
+            128 / 125_000
+        )
+
+    def test_sf12_125khz(self):
+        assert symbol_time_s(SpreadingFactor.SF12, 125_000) == pytest.approx(
+            4096 / 125_000
+        )
+
+    def test_doubles_per_sf(self):
+        for lo, hi in zip(ALL_SF, ALL_SF[1:]):
+            assert symbol_time_s(hi) == pytest.approx(2 * symbol_time_s(lo))
+
+    def test_halves_with_double_bandwidth(self):
+        assert symbol_time_s(SpreadingFactor.SF9, 250_000) == pytest.approx(
+            symbol_time_s(SpreadingFactor.SF9, 125_000) / 2
+        )
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            symbol_time_s(SpreadingFactor.SF7, 0)
+
+
+class TestPreamble:
+    def test_includes_sync_symbols(self):
+        t_sym = symbol_time_s(SpreadingFactor.SF7)
+        assert preamble_duration_s(SpreadingFactor.SF7) == pytest.approx(
+            (8 + 4.25) * t_sym
+        )
+
+    def test_rejects_empty_preamble(self):
+        with pytest.raises(ValueError):
+            preamble_duration_s(SpreadingFactor.SF7, preamble_symbols=0)
+
+    def test_sf12_preamble_much_longer_than_sf7(self):
+        assert preamble_duration_s(SpreadingFactor.SF12) > 30 * (
+            preamble_duration_s(SpreadingFactor.SF7)
+        )
+
+
+class TestTimeOnAir:
+    def test_known_value_sf7(self):
+        # 10-byte payload, SF7/125k, CR4/5, explicit header, CRC:
+        # canonical Semtech calculator output ~41.2 ms.
+        toa = time_on_air_s(10, SpreadingFactor.SF7)
+        assert 0.035 < toa < 0.05
+
+    def test_known_value_sf12(self):
+        toa = time_on_air_s(10, SpreadingFactor.SF12)
+        assert 0.7 < toa < 1.2
+
+    def test_rejects_negative_payload(self):
+        with pytest.raises(ValueError):
+            time_on_air_s(-1, SpreadingFactor.SF7)
+
+    def test_zero_payload_is_at_least_preamble_plus_header(self):
+        toa = time_on_air_s(0, SpreadingFactor.SF9)
+        assert toa > preamble_duration_s(SpreadingFactor.SF9)
+
+    @given(
+        payload=st.integers(min_value=0, max_value=255),
+        sf=st.sampled_from(ALL_SF),
+    )
+    def test_monotonic_in_payload(self, payload, sf):
+        assert time_on_air_s(payload + 1, sf) >= time_on_air_s(payload, sf)
+
+    @given(payload=st.integers(min_value=0, max_value=255))
+    def test_monotonic_in_sf(self, payload):
+        toas = [time_on_air_s(payload, sf) for sf in ALL_SF]
+        assert toas == sorted(toas)
+
+    @given(
+        payload=st.integers(min_value=0, max_value=255),
+        sf=st.sampled_from(ALL_SF),
+        cr=st.sampled_from(list(CodingRate)),
+    )
+    def test_higher_coding_overhead_never_faster(self, payload, sf, cr):
+        base = time_on_air_s(payload, sf, coding_rate=CodingRate.CR_4_5)
+        assert time_on_air_s(payload, sf, coding_rate=cr) >= base
+
+
+class TestDataRateMapping:
+    def test_bijection(self):
+        assert len(DR_TO_SF) == 6
+        for dr, sf in DR_TO_SF.items():
+            assert SF_TO_DR[sf] == dr
+
+    def test_dr5_is_sf7(self):
+        assert DR_TO_SF[DataRate.DR5] is SpreadingFactor.SF7
+
+    def test_dr0_is_sf12(self):
+        assert DR_TO_SF[DataRate.DR0] is SpreadingFactor.SF12
+
+
+class TestThresholds:
+    def test_calibrated_to_paper_fig16(self):
+        # The paper measures ~-13 dB for DR4 (SF8) on the SX1302.
+        assert SNR_THRESHOLD_DB[SpreadingFactor.SF8] == pytest.approx(-13.0)
+
+    def test_monotonic_with_sf(self):
+        values = [snr_threshold_db(sf) for sf in ALL_SF]
+        assert values == sorted(values, reverse=True)
+
+    def test_step_is_2_5db(self):
+        for lo, hi in zip(ALL_SF, ALL_SF[1:]):
+            assert snr_threshold_db(lo) - snr_threshold_db(hi) == pytest.approx(2.5)
+
+
+class TestLoRaParams:
+    def test_from_dr_roundtrip(self):
+        params = LoRaParams.from_dr(DataRate.DR3)
+        assert params.sf is SpreadingFactor.SF9
+        assert params.dr is DataRate.DR3
+
+    def test_airtime_matches_free_function(self):
+        params = LoRaParams(sf=SpreadingFactor.SF10)
+        assert params.time_on_air_s(20) == pytest.approx(
+            time_on_air_s(20, SpreadingFactor.SF10)
+        )
+
+    def test_preamble_matches_free_function(self):
+        params = LoRaParams(sf=SpreadingFactor.SF11)
+        assert params.preamble_duration_s() == pytest.approx(
+            preamble_duration_s(SpreadingFactor.SF11)
+        )
+
+
+class TestBitrate:
+    def test_sf7_faster_than_sf12(self):
+        assert bitrate_bps(SpreadingFactor.SF7) > 5 * bitrate_bps(
+            SpreadingFactor.SF12
+        )
+
+    def test_known_sf7_rate(self):
+        # SF7/125k CR4/5: 7 * 125000 / 128 * 0.8 = 5468.75 bps.
+        assert bitrate_bps(SpreadingFactor.SF7) == pytest.approx(5468.75)

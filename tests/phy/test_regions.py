@@ -1,0 +1,99 @@
+"""Tests for regional bands and the regulatory spectrum database."""
+
+import pytest
+
+from repro.phy.regions import (
+    AS923,
+    Band,
+    EU868,
+    REGULATORY_DB,
+    RegionSpectrum,
+    TESTBED_16,
+    TESTBED_48,
+    US915,
+    band_grid,
+    spectrum_cdf,
+)
+
+
+class TestBands:
+    def test_testbed_16_width(self):
+        assert TESTBED_16.width_hz == pytest.approx(1.6e6)
+
+    def test_testbed_48_width(self):
+        assert TESTBED_48.width_hz == pytest.approx(4.8e6)
+
+    def test_testbed_grids(self):
+        assert TESTBED_16.grid().num_channels == 8
+        assert TESTBED_48.grid().num_channels == 24
+
+    def test_us915_wider_than_eu868(self):
+        assert US915.width_hz > EU868.width_hz
+
+    def test_band_grid_helper(self):
+        assert band_grid(AS923).num_channels == AS923.grid().num_channels
+
+
+class TestRegulatoryDb:
+    def test_size(self):
+        assert len(REGULATORY_DB) == 200
+
+    def test_headline_statistic(self):
+        # Appendix A: spectrum below 6.5 MHz in over 70 % of regions.
+        below = sum(1 for r in REGULATORY_DB if r.overall_mhz < 6.5)
+        assert below / len(REGULATORY_DB) > 0.7
+
+    def test_wide_allocations_exist(self):
+        assert any(r.overall_mhz > 20 for r in REGULATORY_DB)
+
+    def test_overall_is_sum(self):
+        r = RegionSpectrum("x", uplink_mhz=2.0, downlink_mhz=0.5)
+        assert r.overall_mhz == pytest.approx(2.5)
+
+
+class TestSpectrumCdf:
+    def test_cdf_monotone(self):
+        cdf = spectrum_cdf()
+        xs = [x for x, _ in cdf]
+        ys = [y for _, y in cdf]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+        assert ys[-1] == pytest.approx(1.0)
+
+    def test_kinds(self):
+        for kind in ("uplink", "downlink", "overall"):
+            assert spectrum_cdf(kind=kind)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            spectrum_cdf(kind="sideways")
+
+    def test_empty_db(self):
+        with pytest.raises(ValueError):
+            spectrum_cdf(db=[])
+
+
+class TestUs915ChannelPlans:
+    """Appendix B / Figure 19: the US915 fixed channel plans."""
+
+    def test_64_channels_in_8_plans(self):
+        from repro.phy.channels import standard_plans
+
+        grid = US915.grid()
+        assert grid.num_channels == 64
+        plans = standard_plans(grid)
+        assert len(plans) == 8
+        assert all(len(p) == 8 for p in plans)
+
+    def test_figure19_endpoints(self):
+        grid = US915.grid()
+        assert grid.channel(0).center_hz == pytest.approx(902.3e6)
+        assert grid.channel(63).center_hz == pytest.approx(914.9e6)
+
+    def test_plan1_covers_ch0_to_ch7(self):
+        from repro.phy.channels import standard_plans
+
+        grid = US915.grid()
+        plan1 = standard_plans(grid)[0]
+        assert plan1.channels[0] == grid.channel(0)
+        assert plan1.channels[-1] == grid.channel(7)

@@ -1,0 +1,175 @@
+"""Tests for loss classification and metrics."""
+
+import pytest
+
+from repro.node.traffic import capacity_burst
+from repro.phy.lora import DataRate
+from repro.sim.metrics import (
+    CollisionIndex,
+    LossCause,
+    classify_loss,
+    loss_breakdown,
+    service_ratio,
+    spectrum_utilization,
+    throughput_bps,
+)
+from repro.sim.scenario import assign_orthogonal_combos, build_network
+from repro.sim.simulator import Simulator
+
+
+@pytest.fixture
+def overloaded_result(compact_network, link):
+    sim = Simulator(
+        compact_network.gateways, compact_network.devices, link=link
+    )
+    return sim.run(capacity_burst(compact_network.devices))
+
+
+class TestClassification:
+    def test_delivered_and_decoder_losses(self, overloaded_result):
+        causes = [
+            classify_loss(tx, overloaded_result)
+            for tx in overloaded_result.transmissions
+        ]
+        assert causes.count(LossCause.DELIVERED) == (
+            overloaded_result.delivered_count()
+        )
+        assert causes.count(LossCause.DECODER_INTRA) == 4
+
+    def test_intra_attribution_single_network(self, overloaded_result):
+        causes = {
+            classify_loss(tx, overloaded_result)
+            for tx in overloaded_result.transmissions
+        }
+        assert LossCause.DECODER_INTER not in causes
+
+    def test_inter_attribution(self, plan_16, link):
+        net1 = build_network(
+            1, 1, 10, list(plan_16), seed=0, width_m=200, height_m=200
+        )
+        net2 = build_network(
+            2,
+            1,
+            10,
+            list(plan_16),
+            seed=1,
+            gateway_id_base=100,
+            node_id_base=1000,
+            width_m=200,
+            height_m=200,
+        )
+        chans = list(plan_16)
+        assign_orthogonal_combos(net1.devices, chans[:4])
+        assign_orthogonal_combos(net2.devices, chans[4:])
+        all_devices = net1.devices + net2.devices
+        sim = Simulator(net1.gateways + net2.gateways, all_devices, link=link)
+        result = sim.run(capacity_burst(all_devices))
+        causes = [classify_loss(tx, result) for tx in result.transmissions]
+        assert LossCause.DECODER_INTER in causes
+
+    def test_channel_contention_detected(self, plan_16, link):
+        net = build_network(
+            1, 1, 2, list(plan_16), seed=0, width_m=100, height_m=100
+        )
+        # Both nodes on the same (channel, DR) cell: a pure collision.
+        for dev in net.devices:
+            dev.apply_config(channel=list(plan_16)[0], dr=DataRate.DR4)
+        sim = Simulator(net.gateways, net.devices, link=link)
+        result = sim.run(capacity_burst(net.devices))
+        causes = [classify_loss(tx, result) for tx in result.transmissions]
+        assert causes.count(LossCause.CHANNEL_INTRA) >= 1
+
+    def test_out_of_reach_is_other(self, plan_16, link):
+        net = build_network(
+            1, 1, 1, list(plan_16), seed=0, width_m=100, height_m=100
+        )
+        dev = net.devices[0]
+        dev.position = type(dev.position)(50_000.0, 0.0)
+        sim = Simulator(net.gateways, net.devices, link=link)
+        result = sim.run([dev.transmit(0.0)])
+        assert classify_loss(result.transmissions[0], result) is LossCause.OTHER
+
+
+class TestBreakdown:
+    def test_ratios_sum_to_one(self, overloaded_result):
+        b = loss_breakdown(overloaded_result)
+        total = sum(b.ratio(c) for c in LossCause)
+        assert total == pytest.approx(1.0)
+
+    def test_prr_matches_result(self, overloaded_result):
+        b = loss_breakdown(overloaded_result)
+        assert b.prr == pytest.approx(overloaded_result.prr())
+
+    def test_empty_breakdown(self, compact_network, link):
+        sim = Simulator(
+            compact_network.gateways, compact_network.devices, link=link
+        )
+        b = loss_breakdown(sim.run([]))
+        assert b.offered == 0
+        assert b.prr == 0.0
+
+    def test_as_dict_keys(self, overloaded_result):
+        d = loss_breakdown(overloaded_result).as_dict()
+        assert set(d) == {c.value for c in LossCause}
+
+
+class TestThroughput:
+    def test_counts_delivered_bytes(self, overloaded_result):
+        tput = throughput_bps(overloaded_result, window_s=1.0)
+        expected = overloaded_result.delivered_count() * 20 * 8
+        assert tput == pytest.approx(expected)
+
+    def test_rejects_bad_window(self, overloaded_result):
+        with pytest.raises(ValueError):
+            throughput_bps(overloaded_result, window_s=0.0)
+
+
+class TestSpectrumUtilization:
+    def test_cells_match_delivered(self, overloaded_result, grid_16):
+        util = spectrum_utilization(overloaded_result, grid_16.channels())
+        assert sum(util.values()) == overloaded_result.delivered_count()
+        for (ch_idx, dr), count in util.items():
+            assert 0 <= ch_idx < 8
+            assert 0 <= dr < 6
+            assert count >= 1
+
+
+class TestServiceRatio:
+    def test_matches_delivery(self, overloaded_result):
+        expected = overloaded_result.delivered_count() / 20
+        assert service_ratio(overloaded_result, 1) == pytest.approx(expected)
+
+    def test_unknown_network(self, overloaded_result):
+        assert service_ratio(overloaded_result, 42) == 0.0
+
+
+class TestCollisionIndex:
+    def test_finds_co_cell_partner(self, plan_16):
+        from repro.types import Transmission
+        from repro.phy.lora import SpreadingFactor
+
+        ch = list(plan_16)[0]
+        a = Transmission(1, 1, ch, SpreadingFactor.SF8, 0.0, 20)
+        b = Transmission(2, 2, ch, SpreadingFactor.SF8, 0.01, 20)
+        index = CollisionIndex([a, b])
+        assert index.interferer_networks(a) == [2]
+
+    def test_orthogonal_sf_not_partner(self, plan_16):
+        from repro.types import Transmission
+        from repro.phy.lora import SpreadingFactor
+
+        ch = list(plan_16)[0]
+        a = Transmission(1, 1, ch, SpreadingFactor.SF8, 0.0, 20)
+        b = Transmission(2, 2, ch, SpreadingFactor.SF9, 0.01, 20)
+        index = CollisionIndex([a, b])
+        assert index.interferer_networks(a) == []
+
+    def test_disjoint_time_not_partner(self, plan_16):
+        from repro.types import Transmission
+        from repro.phy.lora import SpreadingFactor
+
+        ch = list(plan_16)[0]
+        a = Transmission(1, 1, ch, SpreadingFactor.SF8, 0.0, 20)
+        b = Transmission(2, 2, ch, SpreadingFactor.SF8, 10.0, 20)
+        index = CollisionIndex([a, b])
+        assert index.interferer_networks(a) == []

@@ -1,0 +1,182 @@
+"""System-level property tests (hypothesis) on pipeline invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gateway.gateway import Gateway, Outcome
+from repro.gateway.models import get_model
+from repro.phy.channels import ChannelGrid
+from repro.phy.link import Position, noise_floor_dbm
+from repro.phy.lora import DataRate, DR_TO_SF
+from repro.types import Observation, Transmission
+
+GRID = ChannelGrid(start_hz=923.0e6, width_hz=1.6e6)
+CHANNELS = GRID.channels()
+NOISE = noise_floor_dbm(125_000)
+
+
+@st.composite
+def bursts(draw, max_packets=40):
+    """Random concurrent bursts: cells, networks, offsets, SNRs."""
+    n = draw(st.integers(min_value=1, max_value=max_packets))
+    packets = []
+    for i in range(n):
+        ch = draw(st.integers(min_value=0, max_value=7))
+        dr = draw(st.integers(min_value=0, max_value=5))
+        net = draw(st.integers(min_value=1, max_value=3))
+        start = draw(
+            st.floats(min_value=0.0, max_value=0.2, allow_nan=False)
+        )
+        snr = draw(st.floats(min_value=-5.0, max_value=15.0))
+        tx = Transmission(
+            node_id=i + 1,
+            network_id=net,
+            channel=CHANNELS[ch],
+            sf=DR_TO_SF[DataRate(dr)],
+            start_s=start,
+            payload_bytes=20,
+        )
+        packets.append(Observation(transmission=tx, rssi_dbm=NOISE + snr))
+    return packets
+
+
+class TestGatewayInvariants:
+    @given(bursts())
+    @settings(max_examples=40, deadline=None)
+    def test_one_record_per_observation(self, observations):
+        gw = Gateway(1, 1, Position(0, 0), CHANNELS, model=get_model())
+        records = gw.receive(observations)
+        assert len(records) == len(observations)
+        assert [r.transmission.node_id for r in records] == [
+            o.transmission.node_id for o in observations
+        ]
+
+    @given(bursts())
+    @settings(max_examples=40, deadline=None)
+    def test_concurrent_decoder_occupancy_bounded(self, observations):
+        gw = Gateway(1, 1, Position(0, 0), CHANNELS, model=get_model())
+        records = gw.receive(observations)
+        # Reconstruct the decoder occupancy timeline from admitted
+        # packets: it must never exceed the pool size.
+        admitted = [
+            r.transmission
+            for r in records
+            if r.outcome
+            in (Outcome.RECEIVED, Outcome.FILTERED_FOREIGN, Outcome.DECODE_FAILED)
+        ]
+        events = []
+        for tx in admitted:
+            events.append((tx.lock_on_s, 1))
+            events.append((tx.end_s, -1))
+        events.sort()
+        level = 0
+        for _, delta in events:
+            level += delta
+            assert level <= gw.model.decoders
+
+    @given(bursts())
+    @settings(max_examples=40, deadline=None)
+    def test_only_own_packets_received(self, observations):
+        gw = Gateway(1, 1, Position(0, 0), CHANNELS, model=get_model())
+        for r in gw.receive(observations):
+            if r.outcome is Outcome.RECEIVED:
+                assert r.transmission.network_id == 1
+            if r.outcome is Outcome.FILTERED_FOREIGN:
+                assert r.transmission.network_id != 1
+
+    @given(bursts())
+    @settings(max_examples=40, deadline=None)
+    def test_rejections_only_under_full_pool(self, observations):
+        gw = Gateway(1, 1, Position(0, 0), CHANNELS, model=get_model())
+        for r in gw.receive(observations):
+            if r.outcome is Outcome.NO_DECODER:
+                assert len(r.blocker_network_ids) == gw.model.decoders
+
+    @given(bursts(), st.integers(min_value=0, max_value=5))
+    @settings(max_examples=25, deadline=None)
+    def test_deterministic_under_input_permutation(self, observations, seed):
+        import random
+
+        gw1 = Gateway(1, 1, Position(0, 0), CHANNELS, model=get_model())
+        gw2 = Gateway(1, 1, Position(0, 0), CHANNELS, model=get_model())
+        shuffled = list(observations)
+        random.Random(seed).shuffle(shuffled)
+
+        def fates(records):
+            return {
+                r.transmission.node_id: r.outcome for r in records
+            }
+
+        assert fates(gw1.receive(observations)) == fates(gw2.receive(shuffled))
+
+
+class TestMisalignmentInvariant:
+    @given(
+        n=st.integers(min_value=1, max_value=6),
+        ratio=st.sampled_from([None, 0.2, 0.4, 0.6]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_operators_never_mutually_detectable(self, n, ratio):
+        from repro.core.inter_planner import allocate_operators
+        from repro.phy.interference import is_detectable
+
+        allocations = allocate_operators(GRID, n, overlap_ratio_target=ratio)
+        assert len(allocations) == n
+        for i, a in enumerate(allocations):
+            for b in allocations[i + 1 :]:
+                for ch_a in a.channels()[:2]:
+                    for ch_b in b.channels()[:2]:
+                        assert not is_detectable(ch_a, ch_b)
+
+
+class TestCoexistenceMetamorphic:
+    """Adding a frequency-misaligned foreign network must not change a
+    network's own outcomes at all — the end-to-end isolation guarantee
+    of Strategy 8."""
+
+    @given(st.integers(min_value=0, max_value=20))
+    @settings(max_examples=10, deadline=None)
+    def test_misaligned_neighbors_are_invisible(self, seed):
+        from repro.experiments.common import lab_link, measure_capacity
+        from repro.sim.scenario import assign_orthogonal_combos, build_network
+
+        link = lab_link(seed)
+
+        def own_network():
+            net = build_network(
+                1, 2, 20, CHANNELS, seed=seed, width_m=250, height_m=250
+            )
+            assign_orthogonal_combos(net.devices, CHANNELS)
+            return net
+
+        net = own_network()
+        alone = measure_capacity(net.gateways, net.devices, link=link)
+        survivors_alone = {
+            tx.node_id for tx in alone.transmissions if alone.delivered(tx)
+        }
+
+        net = own_network()
+        shifted = [c.shifted(66_666.7) for c in CHANNELS]
+        foreign = build_network(
+            2,
+            2,
+            20,
+            shifted,
+            seed=seed + 1,
+            gateway_id_base=100,
+            node_id_base=1000,
+            width_m=250,
+            height_m=250,
+        )
+        assign_orthogonal_combos(foreign.devices, shifted)
+        together = measure_capacity(
+            net.gateways + foreign.gateways,
+            net.devices + foreign.devices,
+            link=link,
+        )
+        survivors_together = {
+            tx.node_id
+            for tx in together.transmissions
+            if tx.network_id == 1 and together.delivered(tx)
+        }
+        assert survivors_together == survivors_alone

@@ -1,0 +1,85 @@
+"""Tests for the CLI and the ASCII chart renderer."""
+
+import json
+
+import pytest
+
+from repro.tools.ascii_chart import bar_chart, line_chart
+from repro.tools.cli import EXPERIMENTS, main
+
+
+class TestAsciiCharts:
+    def test_bar_chart_rows(self):
+        out = bar_chart(["a", "bb"], [1.0, 2.0])
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert "##" in lines[1]
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_bar_chart_empty(self):
+        assert bar_chart([], []) == "(no data)"
+
+    def test_bar_chart_misaligned(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_line_chart_contains_marks_and_legend(self):
+        out = line_chart([0, 1, 2], {"up": [0, 1, 2], "down": [2, 1, 0]})
+        assert "o up" in out and "x down" in out
+        assert "o" in out and "x" in out
+
+    def test_line_chart_misaligned(self):
+        with pytest.raises(ValueError):
+            line_chart([0, 1], {"s": [1, 2, 3]})
+
+    def test_line_chart_title(self):
+        out = line_chart([0, 1], {"s": [0, 1]}, title="hello")
+        assert out.splitlines()[0] == "hello"
+
+
+class TestCli:
+    def test_registry_complete(self):
+        # Every paper figure/table plus the extensions is runnable.
+        expected = {
+            "fig2a", "fig2b", "fig3ab", "fig3cd", "fig3ef", "fig4a",
+            "fig4b", "fig5a", "fig5b", "fig6", "fig7", "fig8", "fig12a",
+            "fig12b", "fig12c", "fig12de", "fig13", "fig14", "fig15",
+            "fig16", "fig17a", "fig17b", "fig18", "fig21", "table4",
+            "ablation", "strategy3", "strategy4", "disruption", "erlang",
+        }
+        assert expected == set(EXPERIMENTS)
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig12a" in out and "table4" in out
+
+    def test_run_prints_json(self, capsys):
+        assert main(["run", "fig18"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_regions"] == 200
+
+    def test_run_writes_json(self, tmp_path, capsys):
+        path = tmp_path / "out.json"
+        assert main(["run", "fig18", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert "fraction_below_6_5mhz" in payload
+
+    def test_run_with_seed(self, capsys):
+        assert main(["run", "fig7", "--seed", "3"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["bearing_deg"][0] == 0
+
+    def test_render_known_chart(self, capsys):
+        assert main(["render", "fig5a"]) == 0
+        out = capsys.readouterr().out
+        assert "ch/GW" in out and "#" in out
+
+    def test_render_generic_fallback(self, capsys):
+        assert main(["render", "fig16"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
