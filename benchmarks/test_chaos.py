@@ -1,0 +1,28 @@
+"""Benchmark: chaos resilience (fault injection + degraded mode)."""
+
+from repro.experiments.chaos import run_chaos
+
+from bench_utils import report, run_once
+
+
+def test_chaos_resilience(benchmark):
+    result = run_once(benchmark, run_chaos, seed=0, fast=False)
+    report(
+        "Chaos resilience: Master down 30 s mid-upgrade + a gateway crash "
+        "at t=30 s (degraded-mode operation and retransmission recovery)",
+        result,
+    )
+    # The upgrade completed in degraded mode from the cached assignment.
+    assert result["upgrade_degraded"] is True
+    assert result["connectivity_violations"] == 0
+    # The network server recovered once the Master returned.
+    assert result["netserver_degraded_after_outage"] is False
+    # The crash hurt, retransmissions clawed some frames back, and the
+    # network recovered inside the window.
+    assert result["outcome_counts"].get("gateway_offline", 0) > 0
+    assert result["retry"]["delivered_ratio"] >= result["retry"][
+        "first_attempt_ratio"
+    ]
+    assert result["time_to_recover_s"] is not None
+    assert result["time_to_recover_s"] <= 20.0
+    assert result["degraded_time_s"] == 30.0

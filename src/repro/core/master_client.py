@@ -4,14 +4,24 @@ Runs inside the operator's network server: registers the network,
 obtains the misaligned channel assignment, and can release the slot on
 decommissioning.  Round-trip latency is recorded — it is the
 "operator-to-Master communication" term in the paper's Figure 17.
+
+Resilience: with a :class:`~repro.faults.retry.RetryPolicy` the client
+retries failed round-trips with exponential backoff + jitter under a
+bounded deadline, transparently reconnecting after every transport
+failure.  Registration is idempotent at the Master, so a Master restart
+mid-exchange is survivable — the retry simply re-registers.  When the
+budget is exhausted a :class:`~repro.faults.retry.MasterUnavailableError`
+is raised so callers can fall back to a cached assignment.
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import time
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
+from ..faults.retry import MasterUnavailableError, RetryPolicy
 from .master import Assignment
 from .protocol import (
     ProtocolError,
@@ -22,21 +32,47 @@ from .protocol import (
 
 __all__ = ["MasterClient", "MasterRequestError"]
 
+# Transport-level failures worth a reconnect + retry.  MasterRequestError
+# is excluded: the Master answered, it just said no.
+_TRANSIENT_ERRORS = (OSError, ProtocolError)
+
 
 class MasterRequestError(Exception):
     """The Master rejected a request (e.g. region full)."""
 
 
 class MasterClient:
-    """A persistent connection to the Master node."""
+    """A persistent connection to the Master node.
+
+    Args:
+        address: Master ``(host, port)``.
+        timeout_s: Per-round-trip socket timeout (the bounded request
+            deadline for a single attempt).
+        retry: Optional retry policy; without one, every transport
+            failure surfaces immediately (legacy behaviour) — but the
+            dead socket is still dropped so the next call reconnects.
+        retry_seed: Seed for the backoff jitter (deterministic runs).
+        sleep: Injection point for the backoff sleep (tests pass a
+            no-op or a virtual clock).
+    """
 
     def __init__(
-        self, address: Tuple[str, int], timeout_s: float = 5.0
+        self,
+        address: Tuple[str, int],
+        timeout_s: float = 5.0,
+        retry: Optional[RetryPolicy] = None,
+        retry_seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self.address = address
         self.timeout_s = timeout_s
+        self.retry = retry
+        self._rng = random.Random(retry_seed)
+        self._sleep = sleep
         self._sock: Optional[socket.socket] = None
         self.last_rtt_s: Optional[float] = None
+        self.reconnects = 0
+        self.retries = 0
 
     # -- connection management -------------------------------------------
 
@@ -51,8 +87,10 @@ class MasterClient:
     def close(self) -> None:
         """Close the connection."""
         if self._sock is not None:
-            self._sock.close()
-            self._sock = None
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
 
     def __enter__(self) -> "MasterClient":
         return self.connect()
@@ -62,21 +100,63 @@ class MasterClient:
 
     # -- requests ---------------------------------------------------------
 
-    def _roundtrip(self, message: Dict) -> Dict:
+    def _roundtrip_once(self, message: Dict) -> Dict:
+        """One send/receive exchange over the current connection.
+
+        Any transport failure (timeout, reset, protocol violation)
+        drops the socket so the next attempt reconnects instead of
+        reusing a dead connection.
+        """
+        reconnected = self._sock is None
         self.connect()
+        if reconnected:
+            self.reconnects += 1
         assert self._sock is not None
         t0 = time.perf_counter()
-        send_message(self._sock, message)
-        response = read_message(self._sock)
+        try:
+            send_message(self._sock, message)
+            response = read_message(self._sock)
+        except _TRANSIENT_ERRORS:
+            self.close()
+            raise
         self.last_rtt_s = time.perf_counter() - t0
         if response is None:
+            self.close()
             raise ProtocolError("master closed the connection")
         if response.get("type") == "error":
             raise MasterRequestError(response.get("message", "unknown error"))
         return response
 
+    def _roundtrip(self, message: Dict) -> Dict:
+        if self.retry is None:
+            return self._roundtrip_once(message)
+        policy = self.retry
+        deadline = time.monotonic() + policy.deadline_s
+        last_error: Optional[Exception] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                return self._roundtrip_once(message)
+            except _TRANSIENT_ERRORS as exc:
+                last_error = exc
+                if attempt == policy.max_attempts:
+                    break
+                backoff = policy.backoff_s(attempt, self._rng)
+                if time.monotonic() + backoff >= deadline:
+                    break
+                self.retries += 1
+                self._sleep(backoff)
+        raise MasterUnavailableError(
+            f"master at {self.address} unreachable after {policy.max_attempts}"
+            f" attempt(s): {last_error}"
+        ) from last_error
+
     def register(self, operator: str) -> Assignment:
-        """Register this operator; returns its channel assignment."""
+        """Register this operator; returns its channel assignment.
+
+        Safe to retry: the Master's registration is idempotent, so a
+        re-sent request after a mid-exchange failure returns the same
+        (or a freshly minted, equally valid) assignment.
+        """
         response = self._roundtrip({"type": "register", "operator": operator})
         if response.get("type") != "assignment":
             raise ProtocolError(f"unexpected response {response.get('type')!r}")

@@ -7,14 +7,22 @@ a context manager::
     with MasterServer(MasterNode(grid, expected_networks=4)) as server:
         client = MasterClient(server.address)
         assignment = client.register("operator-1")
+
+Fault injection: with a :class:`~repro.faults.plan.FaultPlan` the
+server consults the plan's Master outage windows on every request
+(against ``clock``, which defaults to seconds since server start) and
+simulates an outage by dropping the connection without answering —
+exactly what a crashed Master looks like from the operator side.
 """
 
 from __future__ import annotations
 
 import socket
 import threading
-from typing import Dict, Optional, Tuple
+import time
+from typing import Callable, Dict, Optional, Tuple
 
+from ..faults.plan import FaultPlan
 from .master import MasterNode, RegionFullError
 from .protocol import (
     ProtocolError,
@@ -27,20 +35,41 @@ __all__ = ["MasterServer"]
 
 
 class MasterServer:
-    """Threaded TCP front-end for a :class:`MasterNode`."""
+    """Threaded TCP front-end for a :class:`MasterNode`.
+
+    Args:
+        master: The coordination logic.
+        host / port: Listening address (port 0 = ephemeral).
+        fault_plan: Optional fault plan whose Master outage windows this
+            server honours.
+        clock: Time source evaluated against the plan's windows;
+            defaults to seconds since server construction.  Tests pass
+            a controllable callable to pin the server inside or outside
+            an outage.
+    """
 
     def __init__(
         self,
         master: MasterNode,
         host: str = "127.0.0.1",
         port: int = 0,
+        fault_plan: Optional[FaultPlan] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self.master = master
+        self.fault_plan = fault_plan
+        if clock is None:
+            epoch = time.monotonic()
+            clock = lambda: time.monotonic() - epoch  # noqa: E731
+        self.clock = clock
+        self.dropped_requests = 0
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._sock.bind((host, port))
         self._sock.listen(16)
         self.address: Tuple[str, int] = self._sock.getsockname()
+        self._conns: set = set()
+        self._conns_lock = threading.Lock()
         self._stop = threading.Event()
         self._thread = threading.Thread(
             target=self._serve, name="alphawan-master", daemon=True
@@ -57,7 +86,12 @@ class MasterServer:
         return self
 
     def close(self) -> None:
-        """Stop the server and release the listening socket."""
+        """Stop the server and sever every open connection.
+
+        Closing live operator connections is what makes this a faithful
+        Master crash: clients mid-exchange see a dead socket, exactly
+        what their retry/reconnect path is built for.
+        """
         self._stop.set()
         try:
             # Unblock accept() with a self-connection.
@@ -66,6 +100,13 @@ class MasterServer:
         except OSError:
             pass
         self._sock.close()
+        with self._conns_lock:
+            conns = list(self._conns)
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
         if self._started:
             self._thread.join(timeout=2.0)
 
@@ -86,12 +127,21 @@ class MasterServer:
             if self._stop.is_set():
                 conn.close()
                 break
+            with self._conns_lock:
+                self._conns.add(conn)
             handler = threading.Thread(
                 target=self._handle, args=(conn,), daemon=True
             )
             handler.start()
 
     def _handle(self, conn: socket.socket) -> None:
+        try:
+            self._serve_connection(conn)
+        finally:
+            with self._conns_lock:
+                self._conns.discard(conn)
+
+    def _serve_connection(self, conn: socket.socket) -> None:
         with conn:
             while True:
                 try:
@@ -99,6 +149,11 @@ class MasterServer:
                 except (ProtocolError, OSError):
                     return
                 if message is None:
+                    return
+                if self._master_down():
+                    # Outage window: vanish mid-exchange, as a crashed
+                    # Master would — no error reply, just a dead socket.
+                    self.dropped_requests += 1
                     return
                 try:
                     response = self._dispatch(message)
@@ -108,6 +163,12 @@ class MasterServer:
                     send_message(conn, response)
                 except OSError:
                     return
+
+    def _master_down(self) -> bool:
+        """Whether the fault plan places us inside a Master outage."""
+        if self.fault_plan is None:
+            return False
+        return self.fault_plan.master_down_at(self.clock())
 
     def _dispatch(self, message: Dict) -> Dict:
         mtype = message.get("type")

@@ -5,6 +5,12 @@ exchange, CP solving (measured live on this machine), configuration
 distribution over the backhaul (modelled), and gateway reboots
 (modelled, executed in parallel across gateways so the term is the max,
 not the sum).
+
+Degraded mode: when the Master is unreachable (retry budget exhausted)
+and an :class:`~repro.faults.cache.AssignmentCache` holds the
+operator's last-known assignment, the upgrade proceeds on the cached
+channel plan instead of crashing — ``LatencyBreakdown.degraded`` flags
+the run so operators can re-sync once the Master returns.
 """
 
 from __future__ import annotations
@@ -13,11 +19,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..faults.cache import AssignmentCache
+from ..faults.retry import MasterUnavailableError
 from ..phy.channels import Channel
 from ..sim.scenario import Network
 from .agents import GatewayAgent, distribution_latency_s
 from .intra_planner import IntraNetworkPlanner, PlanOutcome
 from .master_client import MasterClient
+from .protocol import ProtocolError
 
 __all__ = ["LatencyBreakdown", "run_capacity_upgrade"]
 
@@ -30,6 +39,9 @@ class LatencyBreakdown:
     master_comm_s: float = 0.0
     distribution_s: float = 0.0
     reboot_s: float = 0.0
+    # True when the Master was unreachable and the upgrade ran on the
+    # cached last-known assignment instead.
+    degraded: bool = False
 
     @property
     def total_s(self) -> float:
@@ -47,6 +59,7 @@ def run_capacity_upgrade(
     master_client: Optional[MasterClient] = None,
     operator: Optional[str] = None,
     agent_seed: int = 0,
+    assignment_cache: Optional[AssignmentCache] = None,
 ) -> Tuple[PlanOutcome, LatencyBreakdown]:
     """Execute a full capacity upgrade for one network.
 
@@ -59,9 +72,17 @@ def run_capacity_upgrade(
         operator: Operator name for Master registration (required when
             ``master_client`` is given).
         agent_seed: Seed for the modelled gateway-agent latencies.
+        assignment_cache: Optional last-known-assignment cache.  A
+            fresh assignment is stored into it; when the Master is
+            unreachable the cached one is served instead and the
+            breakdown is flagged ``degraded``.
 
     Returns:
         The planning outcome and the latency breakdown.
+
+    Raises:
+        MasterUnavailableError (or the transport error): the Master was
+            unreachable and no cached assignment exists to fall back to.
     """
     latency = LatencyBreakdown()
 
@@ -69,8 +90,21 @@ def run_capacity_upgrade(
         if not operator:
             raise ValueError("operator name required for spectrum sharing")
         t0 = time.perf_counter()
-        assignment = master_client.register(operator)
+        try:
+            assignment = master_client.register(operator)
+        except (MasterUnavailableError, ProtocolError, OSError):
+            cached = (
+                assignment_cache.get(operator)
+                if assignment_cache is not None
+                else None
+            )
+            if cached is None:
+                raise
+            assignment = cached
+            latency.degraded = True
         latency.master_comm_s = time.perf_counter() - t0
+        if assignment_cache is not None and not latency.degraded:
+            assignment_cache.store(assignment)
         planner.channels = assignment.channels()
 
     outcome = planner.plan()

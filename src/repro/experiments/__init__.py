@@ -7,6 +7,7 @@ against the paper's numbers.
 """
 
 from .ablation import run_ablation
+from .chaos import run_chaos
 from .disruption import run_disruption
 from .erlang_validation import run_erlang_validation
 from .fig02 import run_fig2a, run_fig2b
@@ -29,6 +30,7 @@ from .table4 import run_table4
 
 __all__ = [
     "run_ablation",
+    "run_chaos",
     "run_disruption",
     "run_erlang_validation",
     "run_fig2a", "run_fig2b",

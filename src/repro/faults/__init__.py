@@ -1,0 +1,38 @@
+"""Fault injection and resilience: reproducible chaos for every layer.
+
+The package has three pieces:
+
+* :mod:`repro.faults.plan` — declarative :class:`FaultPlan` (gateway
+  crashes, backhaul drop/delay, Master outages, decoder degradation)
+  with seeded sub-RNG streams, consumed by both the online simulation
+  engine and the TCP Master server.
+* :mod:`repro.faults.retry` — :class:`RetryPolicy` (client backoff +
+  jitter + deadline) and :class:`RetransmitPolicy` (device-side
+  confirmed-uplink backoff), plus :class:`MasterUnavailableError`.
+* :mod:`repro.faults.cache` — :class:`AssignmentCache`, the last-known
+  channel assignment served in degraded mode when the Master is down.
+"""
+
+from .cache import AssignmentCache
+from .plan import (
+    BackhaulFault,
+    DecoderDegradation,
+    FaultPlan,
+    GatewayCrash,
+    MasterOutage,
+    union_length_s,
+)
+from .retry import MasterUnavailableError, RetransmitPolicy, RetryPolicy
+
+__all__ = [
+    "AssignmentCache",
+    "BackhaulFault",
+    "DecoderDegradation",
+    "FaultPlan",
+    "GatewayCrash",
+    "MasterOutage",
+    "union_length_s",
+    "MasterUnavailableError",
+    "RetransmitPolicy",
+    "RetryPolicy",
+]

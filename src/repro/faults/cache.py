@@ -1,0 +1,79 @@
+"""Last-known-good assignment cache for degraded-mode operation.
+
+When the Master is unreachable, the upgrade orchestrator and the
+network server keep serving from the most recent
+:class:`~repro.core.master.Assignment` instead of suspending the
+network.  The cache can persist to a JSON file so a restarted operator
+process recovers its channel plan without the Master.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.master import Assignment
+
+__all__ = ["AssignmentCache"]
+
+
+class AssignmentCache:
+    """Per-operator cache of the last assignment obtained from the Master.
+
+    Args:
+        path: Optional JSON file; when given, every store is persisted
+            and the constructor loads any existing snapshot.
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self._assignments: Dict[str, "Assignment"] = {}
+        if path is not None and os.path.exists(path):
+            self._load(path)
+
+    def store(self, assignment: "Assignment") -> None:
+        """Remember an operator's assignment (overwrites, persists)."""
+        self._assignments[assignment.operator] = assignment
+        if self.path is not None:
+            self._save(self.path)
+
+    def get(self, operator: str) -> Optional["Assignment"]:
+        """The cached assignment for an operator, if any."""
+        return self._assignments.get(operator)
+
+    def forget(self, operator: str) -> bool:
+        """Drop an operator's entry; returns whether one existed."""
+        existed = self._assignments.pop(operator, None) is not None
+        if existed and self.path is not None:
+            self._save(self.path)
+        return existed
+
+    def __len__(self) -> int:
+        return len(self._assignments)
+
+    def __contains__(self, operator: str) -> bool:
+        return operator in self._assignments
+
+    # -- persistence -------------------------------------------------------
+
+    def _save(self, path: str) -> None:
+        # Imported lazily: the wire codec lives in repro.core, which
+        # (indirectly) imports this module — a top-level import cycles.
+        from ..core.protocol import assignment_to_wire
+
+        payload = {
+            op: assignment_to_wire(a) for op, a in self._assignments.items()
+        }
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+
+    def _load(self, path: str) -> None:
+        from ..core.protocol import assignment_from_wire
+
+        with open(path) as fh:
+            payload = json.load(fh)
+        for wire in payload.values():
+            assignment = assignment_from_wire(wire)
+            self._assignments[assignment.operator] = assignment

@@ -1,0 +1,277 @@
+"""Declarative fault plans for reproducible chaos runs.
+
+A :class:`FaultPlan` is the single source of truth for every injected
+failure in a run: gateway crash/reboot schedules, backhaul packet
+drop/delay distributions, Master outage windows, and decoder-pool
+degradations.  The same plan object is consumed by the online
+simulation engine (:meth:`repro.sim.engine.OnlineSimulator.run_online`)
+and by the TCP :class:`~repro.core.master_server.MasterServer`, so one
+declaration drives component failures across every layer.
+
+All randomness derives from the plan's ``seed`` through named
+sub-streams (:meth:`FaultPlan.rng`), keyed by a stable hash — two runs
+of the same plan produce byte-identical fault sequences regardless of
+process hash randomization.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import random
+
+__all__ = [
+    "GatewayCrash",
+    "BackhaulFault",
+    "MasterOutage",
+    "DecoderDegradation",
+    "FaultPlan",
+    "union_length_s",
+]
+
+
+@dataclass(frozen=True)
+class GatewayCrash:
+    """A gateway crashes at ``time_s`` and stays dark for ``down_s``.
+
+    Unlike a :class:`~repro.sim.engine.Reconfiguration` the channel
+    configuration is unchanged — the radio simply reboots, aborting
+    in-flight receptions and losing every packet that locks on during
+    the downtime.
+    """
+
+    time_s: float
+    gateway_id: int
+    down_s: float
+
+    def __post_init__(self) -> None:
+        if self.down_s <= 0:
+            raise ValueError("crash downtime must be positive")
+
+    @property
+    def up_s(self) -> float:
+        """The instant the gateway is back online."""
+        return self.time_s + self.down_s
+
+
+@dataclass(frozen=True)
+class BackhaulFault:
+    """Lossy/slow backhaul between a gateway and its network server.
+
+    While active, each successfully decoded packet is independently
+    dropped with ``drop_prob`` before reaching the network server, and
+    surviving packets are delayed by ``delay_mean_s`` plus uniform
+    jitter up to ``delay_jitter_s``.
+
+    Attributes:
+        gateway_id: Affected gateway, or ``None`` for every gateway.
+        start_s / end_s: Active window (defaults to the whole run).
+    """
+
+    gateway_id: Optional[int] = None
+    start_s: float = 0.0
+    end_s: float = math.inf
+    drop_prob: float = 0.0
+    delay_mean_s: float = 0.0
+    delay_jitter_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_prob <= 1.0:
+            raise ValueError("drop probability must be in [0, 1]")
+        if self.delay_mean_s < 0 or self.delay_jitter_s < 0:
+            raise ValueError("backhaul delays must be non-negative")
+        if self.end_s <= self.start_s:
+            raise ValueError("fault window must have positive length")
+
+    def active_at(self, t: float) -> bool:
+        """Whether the fault applies at instant ``t``."""
+        return self.start_s <= t < self.end_s
+
+
+@dataclass(frozen=True)
+class MasterOutage:
+    """The Master node is unreachable during ``[start_s, end_s)``."""
+
+    start_s: float
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("outage duration must be positive")
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    def active_at(self, t: float) -> bool:
+        return self.start_s <= t < self.end_s
+
+
+@dataclass(frozen=True)
+class DecoderDegradation:
+    """A gateway's decoder pool shrinks to ``decoders`` at ``time_s``.
+
+    Models partial hardware/firmware failure: decoders already busy
+    drain naturally, but only ``decoders`` concurrent receptions are
+    admitted afterwards.  With ``duration_s`` set, the pool is restored
+    to its hardware capacity when the window ends.
+    """
+
+    time_s: float
+    gateway_id: int
+    decoders: int
+    duration_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.decoders < 1:
+            raise ValueError("a degraded pool still needs >= 1 decoder")
+        if self.duration_s is not None and self.duration_s <= 0:
+            raise ValueError("degradation duration must be positive")
+
+
+def _stable_stream_seed(seed: int, label: str) -> int:
+    """A process-independent integer seed for a named sub-stream."""
+    digest = hashlib.blake2b(
+        f"{seed}:{label}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+def union_length_s(
+    intervals: Sequence[Tuple[float, float]],
+    window_s: Optional[float] = None,
+) -> float:
+    """Total length covered by a set of (start, end) intervals.
+
+    Intervals are clipped to ``[0, window_s]`` when a window is given;
+    overlaps are counted once.
+    """
+    clipped: List[Tuple[float, float]] = []
+    for start, end in intervals:
+        lo = max(0.0, start)
+        hi = end if window_s is None else min(end, window_s)
+        if hi > lo:
+            clipped.append((lo, hi))
+    clipped.sort()
+    total = 0.0
+    cur_lo = cur_hi = None
+    for lo, hi in clipped:
+        if cur_hi is None or lo > cur_hi:
+            if cur_hi is not None:
+                total += cur_hi - cur_lo
+            cur_lo, cur_hi = lo, hi
+        else:
+            cur_hi = max(cur_hi, hi)
+    if cur_hi is not None:
+        total += cur_hi - cur_lo
+    return total
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Every fault injected into one run, under one seed.
+
+    Attributes:
+        seed: Root seed for all fault randomness (backhaul drops,
+            delays, retransmission jitter).
+        gateway_crashes: Gateway crash/reboot schedule.
+        backhaul_faults: Backhaul drop/delay windows.
+        master_outages: Windows during which the Master is unreachable.
+        decoder_degradations: Decoder-pool shrink events.
+    """
+
+    seed: int = 0
+    gateway_crashes: Tuple[GatewayCrash, ...] = ()
+    backhaul_faults: Tuple[BackhaulFault, ...] = ()
+    master_outages: Tuple[MasterOutage, ...] = ()
+    decoder_degradations: Tuple[DecoderDegradation, ...] = ()
+
+    # -- queries -----------------------------------------------------------
+
+    def rng(self, label: str) -> random.Random:
+        """A deterministic RNG sub-stream named ``label``.
+
+        The same (seed, label) pair always yields the same stream, in
+        any process — the backbone of reproducible chaos.
+        """
+        return random.Random(_stable_stream_seed(self.seed, label))
+
+    def crashes_for(self, gateway_id: int) -> List[GatewayCrash]:
+        """Crash events of one gateway, in time order."""
+        return sorted(
+            (c for c in self.gateway_crashes if c.gateway_id == gateway_id),
+            key=lambda c: c.time_s,
+        )
+
+    def degradations_for(self, gateway_id: int) -> List[DecoderDegradation]:
+        """Decoder degradations of one gateway, in time order."""
+        return sorted(
+            (
+                d
+                for d in self.decoder_degradations
+                if d.gateway_id == gateway_id
+            ),
+            key=lambda d: d.time_s,
+        )
+
+    def backhaul_for(self, gateway_id: int) -> List[BackhaulFault]:
+        """Backhaul faults applying to one gateway (incl. wildcards)."""
+        return [
+            f
+            for f in self.backhaul_faults
+            if f.gateway_id is None or f.gateway_id == gateway_id
+        ]
+
+    def backhaul_at(self, gateway_id: int, t: float) -> Optional[BackhaulFault]:
+        """The first active backhaul fault for a gateway at instant ``t``."""
+        for fault in self.backhaul_for(gateway_id):
+            if fault.active_at(t):
+                return fault
+        return None
+
+    def master_down_at(self, t: float) -> bool:
+        """Whether the Master is inside an outage window at ``t``."""
+        return any(o.active_at(t) for o in self.master_outages)
+
+    def degraded_intervals(self) -> List[Tuple[float, float]]:
+        """(start, end) windows during which any component is degraded."""
+        out: List[Tuple[float, float]] = []
+        out.extend((o.start_s, o.end_s) for o in self.master_outages)
+        out.extend((c.time_s, c.up_s) for c in self.gateway_crashes)
+        for d in self.decoder_degradations:
+            end = math.inf if d.duration_s is None else d.time_s + d.duration_s
+            out.append((d.time_s, end))
+        return out
+
+    def degraded_time_s(self, window_s: Optional[float] = None) -> float:
+        """Total time any component is degraded (overlaps counted once)."""
+        return union_length_s(self.degraded_intervals(), window_s)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """Plain-dict form (JSON-safe apart from ``inf`` end times)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultPlan":
+        """Rebuild a plan serialized by :meth:`to_dict`."""
+        return cls(
+            seed=int(data.get("seed", 0)),
+            gateway_crashes=tuple(
+                GatewayCrash(**c) for c in data.get("gateway_crashes", ())
+            ),
+            backhaul_faults=tuple(
+                BackhaulFault(**b) for b in data.get("backhaul_faults", ())
+            ),
+            master_outages=tuple(
+                MasterOutage(**o) for o in data.get("master_outages", ())
+            ),
+            decoder_degradations=tuple(
+                DecoderDegradation(**d)
+                for d in data.get("decoder_degradations", ())
+            ),
+        )

@@ -1,0 +1,114 @@
+"""Retry/backoff policies for the resilience layer.
+
+Two consumers:
+
+* the operator-side :class:`~repro.core.master_client.MasterClient`
+  retries Master round-trips with exponential backoff + jitter under a
+  bounded deadline (:class:`RetryPolicy`);
+* end devices retransmit unacknowledged confirmed uplinks with a
+  LoRaWAN-style growing random backoff (:class:`RetransmitPolicy`).
+
+Both policies are pure: given an attempt number and an RNG they return
+a delay, so tests can verify determinism under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["MasterUnavailableError", "RetryPolicy", "RetransmitPolicy"]
+
+
+class MasterUnavailableError(Exception):
+    """The Master could not be reached within the retry budget.
+
+    Carries the last underlying transport error as ``__cause__``;
+    callers holding a cached :class:`~repro.core.master.Assignment`
+    should fall back to it and enter degraded mode.
+    """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter and a bounded overall deadline.
+
+    Attributes:
+        max_attempts: Total round-trip attempts (first try included).
+        base_delay_s: Backoff before the first retry.
+        multiplier: Exponential growth factor per retry.
+        max_delay_s: Ceiling on a single backoff.
+        jitter: Fraction of each backoff randomized uniformly (0 = pure
+            exponential, 1 = "full jitter").
+        deadline_s: Hard bound on the whole operation, sleeps included;
+            once exceeded no further attempt is made.
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    jitter: float = 0.5
+    deadline_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("need at least one attempt")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.deadline_s <= 0:
+            raise ValueError("deadline must be positive")
+
+    def backoff_s(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number ``attempt`` (1-based).
+
+        Deterministic given the RNG state: the fixed (1 - jitter) share
+        of the exponential delay plus a uniformly random jitter share.
+        """
+        if attempt < 1:
+            raise ValueError("attempt numbering starts at 1")
+        raw = min(
+            self.max_delay_s, self.base_delay_s * self.multiplier ** (attempt - 1)
+        )
+        return raw * (1.0 - self.jitter) + rng.uniform(0.0, raw * self.jitter)
+
+
+@dataclass(frozen=True)
+class RetransmitPolicy:
+    """LoRaWAN-style confirmed-uplink retransmission backoff.
+
+    After a missed acknowledgement a device waits an ACK timeout plus a
+    random backoff that doubles per attempt (mirroring the spec's
+    RETRANSMIT_TIMEOUT randomization), then re-sends the same frame
+    counter.
+
+    Attributes:
+        max_retries: Retransmissions allowed after the first try.
+        ack_timeout_s: Base wait for the (modelled) acknowledgement.
+        base_backoff_s: Initial random-backoff window width.
+        multiplier: Backoff-window growth factor per attempt.
+    """
+
+    max_retries: int = 2
+    ack_timeout_s: float = 1.0
+    base_backoff_s: float = 2.0
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.ack_timeout_s < 0 or self.base_backoff_s < 0:
+            raise ValueError("timeouts must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+
+    def delay_s(self, attempt: int, rng: random.Random) -> float:
+        """Wait between the end of attempt ``attempt`` (1-based) and the next."""
+        if attempt < 1:
+            raise ValueError("attempt numbering starts at 1")
+        window = self.base_backoff_s * self.multiplier ** (attempt - 1)
+        return self.ack_timeout_s + rng.uniform(0.0, window)

@@ -55,12 +55,38 @@ class DecoderPool:
         """Release every decoder whose packet has finished by ``now_s``."""
         while self._busy and self._busy[0][0] <= now_s:
             _, _, lease = heapq.heappop(self._busy)
-            heapq.heappush(self._free_indices, lease.decoder_index)
+            # Decoders above a shrunken capacity retire on release
+            # instead of returning to the free list.
+            if lease.decoder_index < self.capacity:
+                heapq.heappush(self._free_indices, lease.decoder_index)
 
     def busy_count(self, now_s: float) -> int:
         """Number of decoders occupied at ``now_s`` (after reclaiming)."""
         self._reclaim(now_s)
-        return self.capacity - len(self._free_indices)
+        return len(self._busy)
+
+    def resize(self, capacity: int) -> None:
+        """Change the pool size in place (decoder-degradation faults).
+
+        Shrinking lets busy decoders drain naturally — their packets
+        complete, but the freed units above the new capacity retire.
+        Growing brings fresh decoders online immediately.
+        """
+        if capacity < 1:
+            raise ValueError(f"decoder pool needs >= 1 decoder, got {capacity}")
+        if capacity > self.capacity:
+            # A unit still draining from a pre-shrink lease must not be
+            # handed out twice; it re-joins the free list on release.
+            draining = {lease.decoder_index for _, _, lease in self._busy}
+            self._free_indices.extend(
+                i for i in range(self.capacity, capacity) if i not in draining
+            )
+        else:
+            self._free_indices = [
+                i for i in self._free_indices if i < capacity
+            ]
+        heapq.heapify(self._free_indices)
+        self.capacity = capacity
 
     def holders(self, now_s: float) -> List[DecoderLease]:
         """Leases of the decoders busy at ``now_s``."""

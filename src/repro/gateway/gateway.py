@@ -35,6 +35,8 @@ class Outcome(Enum):
     NO_DECODER = "no_decoder"              # dropped by the dispatcher
     BELOW_SENSITIVITY = "below_sensitivity"
     CHANNEL_MISMATCH = "channel_mismatch"  # front-end truncated
+    GATEWAY_OFFLINE = "gateway_offline"    # radio dark (crash / reboot)
+    BACKHAUL_LOST = "backhaul_lost"        # decoded, lost gateway->server
 
 
 @dataclass(frozen=True)
@@ -50,6 +52,9 @@ class GatewayReception:
     # Networks holding the decoders when this packet was rejected
     # (only for NO_DECODER outcomes): used to attribute contention.
     blocker_network_ids: Tuple[int, ...] = ()
+    # Extra gateway->server latency from an injected backhaul fault
+    # (only for RECEIVED outcomes under a FaultPlan).
+    backhaul_delay_s: float = 0.0
 
     @property
     def received(self) -> bool:

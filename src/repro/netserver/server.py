@@ -4,6 +4,11 @@ Responsibilities modelled: ingesting per-gateway receptions, dedup of
 multi-gateway copies, operational logging (consumed by AlphaWAN's log
 parser), and pushing downlink configuration — channel creation and ADR
 MAC commands — to gateways and end devices.
+
+Resilience: :meth:`NetworkServer.sync_with_master` keeps the last
+assignment obtained from the AlphaWAN Master; when the Master becomes
+unreachable the server keeps operating on that cached channel plan and
+raises a ``degraded`` flag instead of suspending the network.
 """
 
 from __future__ import annotations
@@ -11,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..faults.cache import AssignmentCache
+from ..faults.retry import MasterUnavailableError
 from ..gateway.gateway import Gateway, GatewayReception, Outcome
 from ..node.device import EndDevice
 from ..phy.channels import Channel
@@ -45,6 +52,10 @@ class NetworkServer:
         self.records: List[UplinkRecord] = []
         self._seen: Set[tuple] = set()
         self.duplicates = 0
+        # Master-sync state: last-known assignment and degraded flag.
+        self.last_assignment = None
+        self.degraded = False
+        self.degraded_syncs = 0
 
     def register_gateway(self, gateway: Gateway) -> None:
         """Attach a gateway to this server."""
@@ -137,6 +148,47 @@ class NetworkServer:
         except KeyError:
             raise KeyError(f"no device {node_id} on network {self.network_id}")
         dev.apply_config(channel=channel, dr=dr, tx_power_dbm=tx_power_dbm)
+
+    # ------------------------------------------------------------------
+    # Master synchronization (degraded-mode fallback)
+    # ------------------------------------------------------------------
+
+    def sync_with_master(
+        self,
+        master_client,
+        operator: str,
+        cache: Optional[AssignmentCache] = None,
+    ):
+        """Fetch this operator's channel assignment from the Master.
+
+        On success the assignment is remembered (and stored into
+        ``cache`` when given) and ``degraded`` clears.  When the Master
+        is unreachable, the server falls back to its last-known
+        assignment — or the cache's — and sets ``degraded`` instead of
+        raising; only with no fallback at all does the error propagate.
+
+        Returns:
+            The (fresh or cached) :class:`~repro.core.master.Assignment`.
+        """
+        from ..core.protocol import ProtocolError
+
+        try:
+            assignment = master_client.register(operator)
+        except (MasterUnavailableError, ProtocolError, OSError):
+            cached = self.last_assignment
+            if cached is None and cache is not None:
+                cached = cache.get(operator)
+            if cached is None:
+                raise
+            self.degraded = True
+            self.degraded_syncs += 1
+            self.last_assignment = cached
+            return cached
+        self.degraded = False
+        self.last_assignment = assignment
+        if cache is not None:
+            cache.store(assignment)
+        return assignment
 
     def clear(self) -> None:
         """Drop logs and dedup state (new measurement epoch)."""

@@ -3,12 +3,15 @@
 An end device owns its radio configuration (channel, data rate, transmit
 power) — the knobs that standard ADR and AlphaWAN's channel planning
 adjust via downlink MAC commands — and mints :class:`Transmission`
-objects when it sends.
+objects when it sends.  Devices flagged ``confirmed`` request
+acknowledgements and re-send unacknowledged frames
+(:meth:`EndDevice.retransmit`) — the end-to-end delivery mechanism the
+resilience layer measures under injected faults.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..phy.channels import Channel
@@ -33,6 +36,8 @@ class EndDevice:
         payload_bytes: Application payload size per uplink.
         duty_cycle: Fraction of time the node may be on air (regulatory
             1 % by default).
+        confirmed: Whether uplinks request acknowledgements (enables
+            retransmission of lost frames).
     """
 
     node_id: int
@@ -43,6 +48,7 @@ class EndDevice:
     tx_power_dbm: float = 14.0
     payload_bytes: int = 10
     duty_cycle: float = 0.01
+    confirmed: bool = False
     _counter: int = field(default=0, repr=False)
 
     @property
@@ -77,6 +83,28 @@ class EndDevice:
             payload_bytes=self.payload_bytes,
             tx_power_dbm=self.tx_power_dbm,
             counter=self._counter,
+            confirmed=self.confirmed,
         )
         self._counter += 1
         return tx
+
+    def retransmit(self, tx: Transmission, start_s: float) -> Transmission:
+        """Re-send an unacknowledged confirmed uplink at ``start_s``.
+
+        The frame counter is preserved (the network server dedups
+        multi-copy deliveries); only the start time and the attempt
+        index change.  The re-send uses the device's *current* radio
+        configuration, as a real node would after a downlink update.
+        """
+        if (tx.node_id, tx.network_id) != (self.node_id, self.network_id):
+            raise ValueError("cannot retransmit another device's uplink")
+        if start_s < tx.end_s:
+            raise ValueError("retransmission overlaps the original send")
+        return replace(
+            tx,
+            start_s=start_s,
+            attempt=tx.attempt + 1,
+            channel=self.channel,
+            sf=self.sf,
+            tx_power_dbm=self.tx_power_dbm,
+        )

@@ -4,12 +4,18 @@ from .metrics import (
     CollisionIndex,
     LossBreakdown,
     LossCause,
+    bucketed_prr,
     classify_loss,
+    degraded_time_s,
     loss_breakdown,
+    outcome_counts,
+    retry_delivery_breakdown,
     service_ratio,
     spectrum_utilization,
     throughput_bps,
+    time_to_recover_s,
 )
+from .resilience import ResilientResult, run_with_retransmissions
 from .scenario import (
     Network,
     all_combos,
@@ -32,6 +38,9 @@ from .topology import (
 __all__ = [
     "CollisionIndex", "LossBreakdown", "LossCause", "classify_loss", "loss_breakdown",
     "service_ratio", "spectrum_utilization", "throughput_bps",
+    "bucketed_prr", "degraded_time_s", "outcome_counts",
+    "retry_delivery_breakdown", "time_to_recover_s",
+    "ResilientResult", "run_with_retransmissions",
     "Network", "all_combos", "assign_orthogonal_combos",
     "assign_plan_homogeneous", "assign_random_channels",
     "assign_tier_by_reach", "build_network",

@@ -8,13 +8,21 @@ packets are aborted and packets locking on during the outage are lost.
 This is what the paper's Figure 17 calls the *system suspension* of a
 capacity upgrade, and what its advice to "schedule upgrades during idle
 periods" is about.
+
+The engine also consumes a :class:`~repro.faults.plan.FaultPlan`:
+gateway crashes behave like reboots without a channel change, decoder
+degradations shrink (and later restore) the decoder pool mid-run, and
+backhaul faults drop or delay successfully decoded packets on their way
+to the network server.  All fault randomness draws from the plan's
+seeded sub-streams, so a chaos run is exactly reproducible.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..faults.plan import FaultPlan
 from ..gateway.detector import detect
 from ..gateway.gateway import Gateway, GatewayReception, Outcome
 from ..phy.channels import Channel
@@ -25,8 +33,8 @@ from .simulator import SimulationResult, Simulator, tx_key
 
 __all__ = ["Reconfiguration", "OnlineSimulator", "OFFLINE_OUTCOME"]
 
-# Packets that hit a rebooting gateway: modelled as a front-end outage.
-OFFLINE_OUTCOME = Outcome.CHANNEL_MISMATCH
+# Packets that hit a dark (rebooting / crashed) gateway radio.
+OFFLINE_OUTCOME = Outcome.GATEWAY_OFFLINE
 
 
 @dataclass(frozen=True)
@@ -45,6 +53,22 @@ class Reconfiguration:
             raise ValueError("a reconfiguration needs at least one channel")
 
 
+@dataclass(frozen=True)
+class _TimelineEvent:
+    """One gateway-side event on the simulated timeline.
+
+    Unifies reconfigurations (channel switch + reboot), fault-plan
+    crashes (reboot, channels unchanged) and decoder-pool resizes
+    (no reboot: busy decoders drain naturally).
+    """
+
+    time_s: float
+    channels: Optional[Tuple[Channel, ...]] = None
+    outage_s: float = 0.0
+    reboot: bool = False
+    decoders: Optional[int] = None
+
+
 class OnlineSimulator(Simulator):
     """Batch simulator extended with timed gateway reconfigurations."""
 
@@ -52,13 +76,14 @@ class OnlineSimulator(Simulator):
         self,
         transmissions: Sequence[Transmission],
         reconfigurations: Sequence[Reconfiguration] = (),
+        fault_plan: Optional[FaultPlan] = None,
     ) -> SimulationResult:
-        """Simulate a window during which gateways may reconfigure.
+        """Simulate a window during which gateways may reconfigure or fail.
 
         Device-side configuration changes are the caller's concern (the
         transmissions already carry their channels); this engine owns
-        the gateway-side timeline: channel set switches and reboot
-        outages.
+        the gateway-side timeline: channel switches, reboot outages,
+        injected crashes, decoder degradation, and backhaul loss.
         """
         result = SimulationResult(
             transmissions=list(transmissions), gateways=self.gateways
@@ -70,28 +95,74 @@ class OnlineSimulator(Simulator):
             reconfig_by_gw.setdefault(rc.gateway_id, []).append(rc)
         for gw in self.gateways:
             obs = self.observations_at(gw, transmissions)
-            events = sorted(
-                reconfig_by_gw.get(gw.gateway_id, []), key=lambda r: r.time_s
+            events = self._gateway_events(
+                gw, reconfig_by_gw.get(gw.gateway_id, []), fault_plan
             )
-            for record in self._run_gateway(gw, obs, events):
+            for record in self._run_gateway(gw, obs, events, fault_plan):
                 result.receptions[tx_key(record.transmission)].append(record)
         return result
+
+    @staticmethod
+    def _gateway_events(
+        gw: Gateway,
+        reconfigs: Sequence[Reconfiguration],
+        fault_plan: Optional[FaultPlan],
+    ) -> List[_TimelineEvent]:
+        """Merge reconfigurations and fault-plan events, time-ordered."""
+        events = [
+            _TimelineEvent(
+                time_s=rc.time_s,
+                channels=tuple(rc.channels),
+                outage_s=rc.outage_s,
+                reboot=True,
+            )
+            for rc in reconfigs
+        ]
+        if fault_plan is not None:
+            for crash in fault_plan.crashes_for(gw.gateway_id):
+                events.append(
+                    _TimelineEvent(
+                        time_s=crash.time_s,
+                        outage_s=crash.down_s,
+                        reboot=True,
+                    )
+                )
+            for deg in fault_plan.degradations_for(gw.gateway_id):
+                shrunk = min(deg.decoders, gw.model.decoders)
+                events.append(
+                    _TimelineEvent(time_s=deg.time_s, decoders=shrunk)
+                )
+                if deg.duration_s is not None:
+                    events.append(
+                        _TimelineEvent(
+                            time_s=deg.time_s + deg.duration_s,
+                            decoders=gw.model.decoders,
+                        )
+                    )
+        events.sort(key=lambda e: e.time_s)
+        return events
 
     def _run_gateway(
         self,
         gw: Gateway,
         observations: Sequence[Observation],
-        reconfigs: List[Reconfiguration],
+        events: List[_TimelineEvent],
+        fault_plan: Optional[FaultPlan] = None,
     ) -> List[GatewayReception]:
-        """Process one gateway's timeline: lock-ons + reconfigurations."""
+        """Process one gateway's timeline: lock-ons + timeline events."""
         gw.pool.reset()
+        gw.pool.resize(gw.model.decoders)
         index = gw._build_time_index(observations)
         noise_figure = gw.noise_figure_db
+        backhaul_rng = (
+            fault_plan.rng(f"backhaul:gw{gw.gateway_id}")
+            if fault_plan is not None and fault_plan.backhaul_faults
+            else None
+        )
 
         # Timeline state.
         channels = list(gw.channels)
         offline_until = float("-inf")
-        pending = list(reconfigs)
         pending_idx = 0
 
         ordered = sorted(
@@ -107,25 +178,28 @@ class OnlineSimulator(Simulator):
         for obs in ordered:
             tx = obs.transmission
             now = tx.lock_on_s
-            # Apply reconfigurations due before this lock-on.
-            while pending_idx < len(pending) and pending[pending_idx].time_s <= now:
-                rc = pending[pending_idx]
+            # Apply timeline events due before this lock-on.
+            while pending_idx < len(events) and events[pending_idx].time_s <= now:
+                ev = events[pending_idx]
                 pending_idx += 1
-                channels = list(rc.channels)
-                gw.configure(channels)
+                if ev.channels is not None:
+                    channels = list(ev.channels)
+                    gw.configure(channels)
+                if ev.decoders is not None:
+                    gw.pool.resize(ev.decoders)
+                if not ev.reboot:
+                    continue
                 gw.reboot()  # aborts in-flight receptions (pool reset)
-                offline_until = rc.time_s + rc.outage_s
-                # Receptions still on air when the radio restarts are lost.
+                offline_until = max(offline_until, ev.time_s + ev.outage_s)
+                # Receptions still on air when the radio restarts are
+                # lost; every other field of the record is preserved so
+                # metrics attribution stays honest.
                 for end_s, idx in in_flight:
-                    if end_s > rc.time_s:
-                        aborted = out[idx]
-                        out[idx] = GatewayReception(
-                            gateway_id=aborted.gateway_id,
-                            transmission=aborted.transmission,
+                    if end_s > ev.time_s:
+                        out[idx] = replace(
+                            out[idx],
                             outcome=OFFLINE_OUTCOME,
-                            rx_channel=aborted.rx_channel,
-                            snr_db=aborted.snr_db,
-                            lock_on_s=aborted.lock_on_s,
+                            backhaul_delay_s=0.0,
                         )
                 in_flight = []
 
@@ -194,6 +268,16 @@ class OnlineSimulator(Simulator):
                 outcome = Outcome.FILTERED_FOREIGN
             else:
                 outcome = Outcome.RECEIVED
+            backhaul_delay_s = 0.0
+            if outcome is Outcome.RECEIVED and backhaul_rng is not None:
+                fault = fault_plan.backhaul_at(gw.gateway_id, tx.end_s)
+                if fault is not None:
+                    if backhaul_rng.random() < fault.drop_prob:
+                        outcome = Outcome.BACKHAUL_LOST
+                    elif fault.delay_mean_s > 0 or fault.delay_jitter_s > 0:
+                        backhaul_delay_s = fault.delay_mean_s + (
+                            backhaul_rng.uniform(0.0, fault.delay_jitter_s)
+                        )
             out.append(
                 GatewayReception(
                     gateway_id=gw.gateway_id,
@@ -202,6 +286,7 @@ class OnlineSimulator(Simulator):
                     rx_channel=det.rx_channel,
                     snr_db=det.snr_db,
                     lock_on_s=det.lock_on_s,
+                    backhaul_delay_s=backhaul_delay_s,
                 )
             )
             in_flight.append((tx.end_s, len(out) - 1))

@@ -36,6 +36,11 @@ __all__ = [
     "throughput_bps",
     "spectrum_utilization",
     "service_ratio",
+    "outcome_counts",
+    "bucketed_prr",
+    "retry_delivery_breakdown",
+    "time_to_recover_s",
+    "degraded_time_s",
 ]
 
 
@@ -211,6 +216,126 @@ def spectrum_utilization(
         key = (best_idx, int(tx.params.dr))
         counts[key] = counts.get(key, 0) + 1
     return counts
+
+
+def outcome_counts(
+    result: SimulationResult, gateway_id: Optional[int] = None
+) -> Dict[str, int]:
+    """Per-outcome reception counts (optionally for one gateway).
+
+    Counts every gateway record — including the fault outcomes
+    ``gateway_offline`` and ``backhaul_lost`` — so chaos runs can audit
+    exactly where packets died.
+    """
+    counts: Counter = Counter()
+    for records in result.receptions.values():
+        for rec in records:
+            if gateway_id is not None and rec.gateway_id != gateway_id:
+                continue
+            counts[rec.outcome.value] += 1
+    return dict(sorted(counts.items()))
+
+
+def bucketed_prr(
+    result: SimulationResult,
+    window_s: float,
+    bucket_s: float,
+    network_id: Optional[int] = None,
+) -> List[float]:
+    """Per-bucket packet reception ratio over a window.
+
+    Buckets with no offered traffic report 1.0 (nothing was lost).
+    """
+    if bucket_s <= 0 or window_s <= 0:
+        raise ValueError("window and bucket must be positive")
+    buckets = max(1, int(window_s // bucket_s))
+    offered = [0] * buckets
+    delivered = [0] * buckets
+    for tx in result.transmissions:
+        if network_id is not None and tx.network_id != network_id:
+            continue
+        b = min(int(tx.start_s // bucket_s), buckets - 1)
+        offered[b] += 1
+        if result.delivered(tx):
+            delivered[b] += 1
+    return [
+        delivered[b] / offered[b] if offered[b] else 1.0
+        for b in range(buckets)
+    ]
+
+
+def retry_delivery_breakdown(result: SimulationResult) -> Dict[str, float]:
+    """Confirmed-frame delivery ratios under retransmission.
+
+    Groups the result's confirmed transmissions by frame (network,
+    node, counter) and reports the fraction delivered on the first
+    attempt, the fraction recovered by a retry (the *delivery-after-
+    retry* metric), and the fraction never delivered.  Ratios are over
+    confirmed frames; all zeros when the run had none.
+    """
+    frames: Dict[tuple, List[Transmission]] = {}
+    for tx in result.transmissions:
+        if tx.confirmed:
+            frames.setdefault(tx.key(), []).append(tx)
+    total = len(frames)
+    if total == 0:
+        return {
+            "confirmed_frames": 0,
+            "first_attempt_ratio": 0.0,
+            "after_retry_ratio": 0.0,
+            "unrecovered_ratio": 0.0,
+            "delivered_ratio": 0.0,
+        }
+    first = after = 0
+    for attempts in frames.values():
+        delivered = [t.attempt for t in attempts if result.delivered(t)]
+        if not delivered:
+            continue
+        if min(delivered) == 0:
+            first += 1
+        else:
+            after += 1
+    return {
+        "confirmed_frames": total,
+        "first_attempt_ratio": first / total,
+        "after_retry_ratio": after / total,
+        "unrecovered_ratio": (total - first - after) / total,
+        "delivered_ratio": (first + after) / total,
+    }
+
+
+def time_to_recover_s(
+    result: SimulationResult,
+    fault_start_s: float,
+    window_s: float,
+    bucket_s: float = 5.0,
+    threshold: float = 0.9,
+    network_id: Optional[int] = None,
+) -> Optional[float]:
+    """Time from a fault until the bucketed PRR is back above threshold.
+
+    Scans the per-bucket PRR from the bucket containing
+    ``fault_start_s``; the first bucket at or above ``threshold`` marks
+    recovery, and the returned value is the start of that bucket minus
+    the fault instant (clamped at 0.0 — a fault the network shrugs off
+    within its own bucket has zero recovery time).  ``None`` means the
+    network never recovered inside the window.
+    """
+    series = bucketed_prr(result, window_s, bucket_s, network_id=network_id)
+    first_bucket = min(int(fault_start_s // bucket_s), len(series) - 1)
+    for b in range(first_bucket, len(series)):
+        if series[b] >= threshold:
+            return max(0.0, b * bucket_s - fault_start_s)
+    return None
+
+
+def degraded_time_s(fault_plan, window_s: Optional[float] = None) -> float:
+    """Total time any component of a fault plan is degraded.
+
+    Overlapping windows (a gateway crash inside a Master outage) count
+    once; open-ended degradations are clipped to ``window_s``.
+    """
+    return fault_plan.degraded_time_s(window_s)
 
 
 def service_ratio(

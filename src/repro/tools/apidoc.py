@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.gateway",
     "repro.node",
     "repro.sim",
+    "repro.faults",
     "repro.netserver",
     "repro.lorawan",
     "repro.baselines",

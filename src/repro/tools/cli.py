@@ -52,6 +52,7 @@ EXPERIMENTS: Dict[str, tuple] = {
     "fig21": (experiments.run_fig21, "53-week expansion"),
     "table4": (experiments.run_table4, "COTS gateway capacities"),
     "ablation": (experiments.run_ablation, "planner component ablation"),
+    "chaos": (experiments.run_chaos, "fault injection + resilience (ext.)"),
     "disruption": (experiments.run_disruption, "live-upgrade disruption (ext.)"),
     "erlang": (experiments.run_erlang_validation, "decoder loss vs Erlang-B (ext.)"),
     "strategy3": (experiments.run_strategy3, "hardware upgrade (ext.)"),
@@ -112,6 +113,14 @@ def _render(name: str, result) -> str:
         )
     if name == "ablation":
         return bar_chart(list(result), list(result.values()), unit=" users")
+    if name == "chaos":
+        series = result["bucketed_prr"]
+        xs = [i * result["bucket_s"] for i in range(len(series))]
+        return line_chart(
+            xs,
+            {"prr": series},
+            title="PRR through the chaos window (crash at t=30 s)",
+        )
     # Generic fallbacks.
     if isinstance(result, dict):
         scalars = {

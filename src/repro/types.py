@@ -37,6 +37,10 @@ class Transmission:
         payload_bytes: MAC payload length.
         tx_power_dbm: Transmit power.
         counter: Uplink frame counter (for dedup at the network server).
+        confirmed: Whether the uplink requests an acknowledgement (and
+            so is retransmitted when none arrives).
+        attempt: Retransmission index — 0 for the original send, 1+ for
+            re-sends of the same frame counter.
     """
 
     node_id: int
@@ -47,6 +51,8 @@ class Transmission:
     payload_bytes: int = 10
     tx_power_dbm: float = 14.0
     counter: int = 0
+    confirmed: bool = False
+    attempt: int = 0
 
     @property
     def params(self) -> LoRaParams:

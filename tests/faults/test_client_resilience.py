@@ -1,0 +1,190 @@
+"""MasterClient resilience: reconnects, retries, timeouts, restarts."""
+
+import socket
+
+import pytest
+
+from repro.core.master import MasterNode
+from repro.core.master_client import MasterClient, MasterRequestError
+from repro.core.master_server import MasterServer
+from repro.core.protocol import ProtocolError
+from repro.faults import (
+    FaultPlan,
+    MasterOutage,
+    MasterUnavailableError,
+    RetryPolicy,
+)
+
+OUTAGE_PLAN = FaultPlan(
+    master_outages=(MasterOutage(start_s=10.0, duration_s=30.0),)
+)
+
+FAST_RETRY = RetryPolicy(
+    max_attempts=3, base_delay_s=0.001, max_delay_s=0.01, deadline_s=10.0
+)
+
+
+def _noop_sleep(_s: float) -> None:
+    pass
+
+
+class TestStaleSocket:
+    def test_failed_roundtrip_drops_the_socket(self, grid_16):
+        """A dead exchange must not leave a poisoned connection behind."""
+        clock = [20.0]  # inside the outage window
+        master = MasterNode(grid_16, expected_networks=2)
+        with MasterServer(
+            master, fault_plan=OUTAGE_PLAN, clock=lambda: clock[0]
+        ) as server:
+            with MasterClient(server.address, timeout_s=2.0) as client:
+                with pytest.raises(ProtocolError):
+                    client.register("op-1")
+                assert client._sock is None
+                # The outage ends: the very next call reconnects and
+                # succeeds without any manual intervention.
+                clock[0] = 50.0
+                assignment = client.register("op-1")
+                assert assignment.operator == "op-1"
+                assert client.reconnects == 1
+
+    def test_timeout_drops_the_socket(self):
+        """A server that never answers trips the bounded deadline."""
+        silent = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        silent.bind(("127.0.0.1", 0))
+        silent.listen(1)  # never accepted: reads will time out
+        try:
+            client = MasterClient(silent.getsockname(), timeout_s=0.2)
+            with pytest.raises(OSError):
+                client.register("op-1")
+            assert client._sock is None
+        finally:
+            silent.close()
+
+
+class TestRetry:
+    def test_outage_exhausts_budget(self, grid_16):
+        clock = [20.0]
+        master = MasterNode(grid_16, expected_networks=2)
+        with MasterServer(
+            master, fault_plan=OUTAGE_PLAN, clock=lambda: clock[0]
+        ) as server:
+            client = MasterClient(
+                server.address,
+                timeout_s=2.0,
+                retry=FAST_RETRY,
+                sleep=_noop_sleep,
+            )
+            with pytest.raises(MasterUnavailableError):
+                client.register("op-1")
+            assert client.retries == FAST_RETRY.max_attempts - 1
+            assert server.dropped_requests == FAST_RETRY.max_attempts
+
+    def test_retry_recovers_when_outage_ends(self, grid_16):
+        clock = [20.0]
+        master = MasterNode(grid_16, expected_networks=2)
+
+        def sleep_and_recover(_s: float) -> None:
+            clock[0] = 50.0  # the Master comes back during the backoff
+
+        with MasterServer(
+            master, fault_plan=OUTAGE_PLAN, clock=lambda: clock[0]
+        ) as server:
+            client = MasterClient(
+                server.address,
+                timeout_s=2.0,
+                retry=FAST_RETRY,
+                sleep=sleep_and_recover,
+            )
+            assignment = client.register("op-1")
+            assert assignment.operator == "op-1"
+            assert client.retries == 1
+
+    def test_rejections_are_not_retried(self, grid_16):
+        """The Master answering 'no' is final — only transport errors retry."""
+        master = MasterNode(grid_16, expected_networks=1)
+        with MasterServer(master) as server:
+            client = MasterClient(
+                server.address, retry=FAST_RETRY, sleep=_noop_sleep
+            )
+            client.register("op-1")
+            with pytest.raises(MasterRequestError):
+                client.register("op-2")
+            assert client.retries == 0
+
+    def test_deadline_bounds_the_operation(self):
+        """A backoff that would overrun the deadline is never slept."""
+        silent = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        silent.bind(("127.0.0.1", 0))
+        silent.listen(1)
+        slept = []
+        try:
+            client = MasterClient(
+                silent.getsockname(),
+                timeout_s=0.1,
+                retry=RetryPolicy(
+                    max_attempts=5,
+                    base_delay_s=60.0,
+                    max_delay_s=60.0,
+                    jitter=0.0,
+                    deadline_s=1.0,
+                ),
+                sleep=slept.append,
+            )
+            with pytest.raises(MasterUnavailableError):
+                client.register("op-1")
+            assert slept == []
+            assert client.retries == 0
+        finally:
+            silent.close()
+
+    def test_backoff_sequence_deterministic_per_seed(self):
+        silent = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        silent.bind(("127.0.0.1", 0))
+        silent.listen(1)
+        policy = RetryPolicy(
+            max_attempts=4, base_delay_s=0.01, max_delay_s=1.0, deadline_s=30.0
+        )
+
+        def run(seed: int):
+            slept = []
+            client = MasterClient(
+                silent.getsockname(),
+                timeout_s=0.1,
+                retry=policy,
+                retry_seed=seed,
+                sleep=slept.append,
+            )
+            with pytest.raises(MasterUnavailableError):
+                client.register("op-1")
+            return slept
+
+        try:
+            assert run(5) == run(5)
+            assert run(5) != run(6)
+        finally:
+            silent.close()
+
+
+class TestMasterRestart:
+    def test_reregistration_survives_master_restart(self, grid_16):
+        """A restarted Master is re-registered transparently by the retry."""
+        server1 = MasterServer(MasterNode(grid_16, expected_networks=2))
+        server1.start()
+        host, port = server1.address
+        client = MasterClient(
+            (host, port), timeout_s=2.0, retry=FAST_RETRY, sleep=_noop_sleep
+        )
+        first = client.register("op-1")
+        server1.close()  # the Master dies mid-session...
+        server2 = MasterServer(
+            MasterNode(grid_16, expected_networks=2), host=host, port=port
+        )
+        server2.start()  # ...and comes back at the same address
+        try:
+            second = client.register("op-1")
+            assert second.operator == first.operator
+            assert second.channels() == first.channels()
+            assert client.reconnects >= 1
+        finally:
+            client.close()
+            server2.close()

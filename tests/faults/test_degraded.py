@@ -1,0 +1,199 @@
+"""Degraded-mode fallbacks: assignment cache, upgrade, network server."""
+
+import pytest
+
+from repro.core.evolutionary import GAConfig
+from repro.core.intra_planner import IntraNetworkPlanner, PlannerConfig
+from repro.core.master import MasterNode
+from repro.core.master_client import MasterClient
+from repro.core.master_server import MasterServer
+from repro.core.upgrade import run_capacity_upgrade
+from repro.faults import (
+    AssignmentCache,
+    FaultPlan,
+    MasterOutage,
+    MasterUnavailableError,
+    RetryPolicy,
+)
+from repro.netserver.server import NetworkServer
+from repro.sim.scenario import assign_orthogonal_combos, build_network
+
+FAST = GAConfig(population=16, generations=15, seed=0, patience=5)
+FAST_RETRY = RetryPolicy(
+    max_attempts=2, base_delay_s=0.001, max_delay_s=0.01, deadline_s=10.0
+)
+OUTAGE_PLAN = FaultPlan(
+    master_outages=(MasterOutage(start_s=10.0, duration_s=30.0),)
+)
+
+
+def _noop_sleep(_s: float) -> None:
+    pass
+
+
+@pytest.fixture
+def network(grid_16):
+    net = build_network(
+        1, 3, 12, grid_16.channels(), seed=1, width_m=250, height_m=250
+    )
+    assign_orthogonal_combos(net.devices, grid_16.channels())
+    return net
+
+
+class TestAssignmentCache:
+    def test_store_get_forget(self, grid_16):
+        master = MasterNode(grid_16, expected_networks=2)
+        assignment = master.register("op-1")
+        cache = AssignmentCache()
+        assert "op-1" not in cache
+        cache.store(assignment)
+        assert cache.get("op-1") is assignment
+        assert "op-1" in cache and len(cache) == 1
+        assert cache.forget("op-1")
+        assert not cache.forget("op-1")
+        assert cache.get("op-1") is None
+
+    def test_persistence_roundtrip(self, grid_16, tmp_path):
+        master = MasterNode(grid_16, expected_networks=2)
+        assignment = master.register("op-1")
+        path = str(tmp_path / "assignments.json")
+        AssignmentCache(path).store(assignment)
+        # A fresh process (new cache object) recovers the assignment.
+        restored = AssignmentCache(path).get("op-1")
+        assert restored is not None
+        assert restored.operator == "op-1"
+        assert restored.channels() == assignment.channels()
+
+
+class TestDegradedUpgrade:
+    def _planner(self, network, grid, link):
+        return IntraNetworkPlanner(
+            network, grid.channels(), link=link, config=PlannerConfig(ga=FAST)
+        )
+
+    def test_upgrade_falls_back_to_cache(self, network, grid_16, link):
+        clock = [0.0]
+        master = MasterNode(grid_16, expected_networks=2)
+        cache = AssignmentCache()
+        with MasterServer(
+            master, fault_plan=OUTAGE_PLAN, clock=lambda: clock[0]
+        ) as server:
+            client = MasterClient(
+                server.address,
+                timeout_s=2.0,
+                retry=FAST_RETRY,
+                sleep=_noop_sleep,
+            )
+            cache.store(client.register("op-1"))  # healthy pre-warm
+            clock[0] = 20.0  # the Master goes dark
+            outcome, latency = run_capacity_upgrade(
+                self._planner(network, grid_16, link),
+                master_client=client,
+                operator="op-1",
+                agent_seed=1,
+                assignment_cache=cache,
+            )
+        assert latency.degraded
+        assert outcome.solution.connectivity_violations == 0
+        assert all(gw.reboots == 1 for gw in network.gateways)
+
+    def test_upgrade_without_cache_raises(self, network, grid_16, link):
+        clock = [20.0]
+        master = MasterNode(grid_16, expected_networks=2)
+        with MasterServer(
+            master, fault_plan=OUTAGE_PLAN, clock=lambda: clock[0]
+        ) as server:
+            client = MasterClient(
+                server.address,
+                timeout_s=2.0,
+                retry=FAST_RETRY,
+                sleep=_noop_sleep,
+            )
+            with pytest.raises(MasterUnavailableError):
+                run_capacity_upgrade(
+                    self._planner(network, grid_16, link),
+                    master_client=client,
+                    operator="op-1",
+                    agent_seed=1,
+                )
+
+    def test_healthy_upgrade_populates_cache(self, network, grid_16, link):
+        master = MasterNode(grid_16, expected_networks=2)
+        cache = AssignmentCache()
+        with MasterServer(master) as server:
+            with MasterClient(server.address) as client:
+                _, latency = run_capacity_upgrade(
+                    self._planner(network, grid_16, link),
+                    master_client=client,
+                    operator="op-1",
+                    agent_seed=1,
+                    assignment_cache=cache,
+                )
+        assert not latency.degraded
+        assert cache.get("op-1") is not None
+
+
+class TestNetworkServerSync:
+    def test_sync_degrades_and_recovers(self, network, grid_16):
+        clock = [0.0]
+        master = MasterNode(grid_16, expected_networks=2)
+        ns = NetworkServer(1, network.gateways, network.devices)
+        with MasterServer(
+            master, fault_plan=OUTAGE_PLAN, clock=lambda: clock[0]
+        ) as server:
+            client = MasterClient(
+                server.address,
+                timeout_s=2.0,
+                retry=FAST_RETRY,
+                sleep=_noop_sleep,
+            )
+            healthy = ns.sync_with_master(client, "op-1")
+            assert not ns.degraded
+            clock[0] = 20.0
+            cached = ns.sync_with_master(client, "op-1")
+            assert ns.degraded and ns.degraded_syncs == 1
+            assert cached is healthy  # served from last-known assignment
+            clock[0] = 50.0
+            ns.sync_with_master(client, "op-1")
+            assert not ns.degraded
+
+    def test_sync_uses_external_cache_after_restart(self, network, grid_16):
+        """A freshly restarted server recovers via the persisted cache."""
+        clock = [0.0]
+        master = MasterNode(grid_16, expected_networks=2)
+        cache = AssignmentCache()
+        with MasterServer(
+            master, fault_plan=OUTAGE_PLAN, clock=lambda: clock[0]
+        ) as server:
+            client = MasterClient(
+                server.address,
+                timeout_s=2.0,
+                retry=FAST_RETRY,
+                sleep=_noop_sleep,
+            )
+            NetworkServer(1, network.gateways, network.devices).sync_with_master(
+                client, "op-1", cache=cache
+            )
+            # Restarted network server: no in-memory last assignment.
+            restarted = NetworkServer(1, network.gateways, network.devices)
+            clock[0] = 20.0
+            assignment = restarted.sync_with_master(client, "op-1", cache=cache)
+            assert restarted.degraded
+            assert assignment.operator == "op-1"
+
+    def test_sync_without_fallback_raises(self, network, grid_16):
+        clock = [20.0]
+        master = MasterNode(grid_16, expected_networks=2)
+        ns = NetworkServer(1, network.gateways, network.devices)
+        with MasterServer(
+            master, fault_plan=OUTAGE_PLAN, clock=lambda: clock[0]
+        ) as server:
+            client = MasterClient(
+                server.address,
+                timeout_s=2.0,
+                retry=FAST_RETRY,
+                sleep=_noop_sleep,
+            )
+            with pytest.raises(MasterUnavailableError):
+                ns.sync_with_master(client, "op-1")
+            assert not ns.degraded

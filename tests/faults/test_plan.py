@@ -1,0 +1,158 @@
+"""Tests for the declarative fault plan."""
+
+import math
+
+import pytest
+
+from repro.faults import (
+    BackhaulFault,
+    DecoderDegradation,
+    FaultPlan,
+    GatewayCrash,
+    MasterOutage,
+    union_length_s,
+)
+
+
+class TestValidation:
+    def test_crash_needs_positive_downtime(self):
+        with pytest.raises(ValueError):
+            GatewayCrash(time_s=1.0, gateway_id=0, down_s=0.0)
+
+    def test_backhaul_drop_prob_bounds(self):
+        with pytest.raises(ValueError):
+            BackhaulFault(drop_prob=1.5)
+        with pytest.raises(ValueError):
+            BackhaulFault(drop_prob=-0.1)
+
+    def test_backhaul_window_must_have_length(self):
+        with pytest.raises(ValueError):
+            BackhaulFault(start_s=5.0, end_s=5.0)
+
+    def test_outage_needs_positive_duration(self):
+        with pytest.raises(ValueError):
+            MasterOutage(start_s=0.0, duration_s=0.0)
+
+    def test_degradation_keeps_one_decoder(self):
+        with pytest.raises(ValueError):
+            DecoderDegradation(time_s=0.0, gateway_id=0, decoders=0)
+
+
+class TestQueries:
+    def test_crashes_for_filters_and_sorts(self):
+        plan = FaultPlan(
+            gateway_crashes=(
+                GatewayCrash(time_s=9.0, gateway_id=1, down_s=1.0),
+                GatewayCrash(time_s=3.0, gateway_id=1, down_s=1.0),
+                GatewayCrash(time_s=5.0, gateway_id=2, down_s=1.0),
+            )
+        )
+        times = [c.time_s for c in plan.crashes_for(1)]
+        assert times == [3.0, 9.0]
+        assert plan.crashes_for(7) == []
+
+    def test_backhaul_wildcard_applies_to_all_gateways(self):
+        plan = FaultPlan(backhaul_faults=(BackhaulFault(drop_prob=0.5),))
+        assert plan.backhaul_at(0, 10.0) is not None
+        assert plan.backhaul_at(99, 10.0) is not None
+
+    def test_backhaul_window_boundaries(self):
+        fault = BackhaulFault(start_s=10.0, end_s=20.0, drop_prob=0.1)
+        plan = FaultPlan(backhaul_faults=(fault,))
+        assert plan.backhaul_at(0, 10.0) is fault
+        assert plan.backhaul_at(0, 19.99) is fault
+        assert plan.backhaul_at(0, 20.0) is None
+        assert plan.backhaul_at(0, 9.99) is None
+
+    def test_master_down_at(self):
+        plan = FaultPlan(
+            master_outages=(MasterOutage(start_s=15.0, duration_s=30.0),)
+        )
+        assert not plan.master_down_at(14.9)
+        assert plan.master_down_at(15.0)
+        assert plan.master_down_at(44.9)
+        assert not plan.master_down_at(45.0)
+
+    def test_degraded_time_counts_overlaps_once(self):
+        plan = FaultPlan(
+            master_outages=(MasterOutage(start_s=15.0, duration_s=30.0),),
+            gateway_crashes=(
+                # Entirely inside the outage: adds nothing.
+                GatewayCrash(time_s=30.0, gateway_id=0, down_s=8.0),
+            ),
+        )
+        assert plan.degraded_time_s(60.0) == pytest.approx(30.0)
+
+    def test_degraded_time_clips_to_window(self):
+        plan = FaultPlan(
+            master_outages=(MasterOutage(start_s=50.0, duration_s=100.0),)
+        )
+        assert plan.degraded_time_s(60.0) == pytest.approx(10.0)
+
+    def test_open_ended_degradation_needs_window(self):
+        plan = FaultPlan(
+            decoder_degradations=(
+                DecoderDegradation(time_s=10.0, gateway_id=0, decoders=2),
+            )
+        )
+        assert plan.degraded_time_s(60.0) == pytest.approx(50.0)
+        assert math.isinf(plan.degraded_time_s())
+
+
+class TestUnionLength:
+    def test_disjoint_and_overlapping(self):
+        assert union_length_s([(0, 2), (5, 7)]) == pytest.approx(4.0)
+        assert union_length_s([(0, 5), (3, 8)]) == pytest.approx(8.0)
+
+    def test_empty(self):
+        assert union_length_s([]) == 0.0
+
+
+class TestDeterminism:
+    def test_rng_streams_reproducible(self):
+        plan = FaultPlan(seed=42)
+        a = plan.rng("backhaul:gw0")
+        b = plan.rng("backhaul:gw0")
+        assert [a.random() for _ in range(5)] == [
+            b.random() for _ in range(5)
+        ]
+
+    def test_rng_streams_independent(self):
+        plan = FaultPlan(seed=42)
+        assert plan.rng("a").random() != plan.rng("b").random()
+
+    def test_rng_depends_on_seed(self):
+        assert (
+            FaultPlan(seed=1).rng("x").random()
+            != FaultPlan(seed=2).rng("x").random()
+        )
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        plan = FaultPlan(
+            seed=7,
+            gateway_crashes=(
+                GatewayCrash(time_s=30.0, gateway_id=1, down_s=8.0),
+            ),
+            backhaul_faults=(
+                BackhaulFault(
+                    gateway_id=2,
+                    start_s=10.0,
+                    end_s=20.0,
+                    drop_prob=0.3,
+                    delay_mean_s=0.05,
+                    delay_jitter_s=0.02,
+                ),
+            ),
+            master_outages=(MasterOutage(start_s=15.0, duration_s=30.0),),
+            decoder_degradations=(
+                DecoderDegradation(
+                    time_s=5.0, gateway_id=0, decoders=2, duration_s=10.0
+                ),
+            ),
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_from_empty_dict(self):
+        assert FaultPlan.from_dict({}) == FaultPlan()

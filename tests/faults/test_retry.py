@@ -1,0 +1,81 @@
+"""Tests for the retry and retransmission backoff policies."""
+
+import random
+
+import pytest
+
+from repro.faults import RetransmitPolicy, RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline_s=0.0)
+
+    def test_backoff_deterministic_under_seed(self):
+        policy = RetryPolicy()
+        a = [policy.backoff_s(i, random.Random(3)) for i in range(1, 5)]
+        b = [policy.backoff_s(i, random.Random(3)) for i in range(1, 5)]
+        assert a == b
+
+    def test_backoff_grows_exponentially_without_jitter(self):
+        policy = RetryPolicy(
+            base_delay_s=0.1, multiplier=2.0, jitter=0.0, max_delay_s=100.0
+        )
+        rng = random.Random(0)
+        assert policy.backoff_s(1, rng) == pytest.approx(0.1)
+        assert policy.backoff_s(2, rng) == pytest.approx(0.2)
+        assert policy.backoff_s(3, rng) == pytest.approx(0.4)
+
+    def test_backoff_capped(self):
+        policy = RetryPolicy(
+            base_delay_s=1.0, multiplier=10.0, jitter=0.0, max_delay_s=2.0
+        )
+        assert policy.backoff_s(5, random.Random(0)) == pytest.approx(2.0)
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(base_delay_s=1.0, jitter=0.5, max_delay_s=1.0)
+        rng = random.Random(0)
+        for _ in range(50):
+            delay = policy.backoff_s(1, rng)
+            assert 0.5 <= delay <= 1.0
+
+    def test_attempt_numbering(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_s(0, random.Random(0))
+
+
+class TestRetransmitPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetransmitPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetransmitPolicy(multiplier=0.9)
+        with pytest.raises(ValueError):
+            RetransmitPolicy(ack_timeout_s=-1.0)
+
+    def test_delay_deterministic_under_seed(self):
+        policy = RetransmitPolicy()
+        a = [policy.delay_s(i, random.Random(9)) for i in range(1, 4)]
+        b = [policy.delay_s(i, random.Random(9)) for i in range(1, 4)]
+        assert a == b
+
+    def test_delay_window_grows(self):
+        policy = RetransmitPolicy(
+            ack_timeout_s=1.0, base_backoff_s=2.0, multiplier=2.0
+        )
+        rng = random.Random(0)
+        for attempt, width in ((1, 2.0), (2, 4.0), (3, 8.0)):
+            for _ in range(20):
+                delay = policy.delay_s(attempt, rng)
+                assert 1.0 <= delay <= 1.0 + width
+
+    def test_attempt_numbering(self):
+        with pytest.raises(ValueError):
+            RetransmitPolicy().delay_s(0, random.Random(0))

@@ -46,6 +46,7 @@ class TestCli:
             "fig12b", "fig12c", "fig12de", "fig13", "fig14", "fig15",
             "fig16", "fig17a", "fig17b", "fig18", "fig21", "table4",
             "ablation", "strategy3", "strategy4", "disruption", "erlang",
+            "chaos",
         }
         assert expected == set(EXPERIMENTS)
 
