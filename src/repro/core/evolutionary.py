@@ -11,9 +11,17 @@ samples).
 
 from __future__ import annotations
 
+import logging
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..obs import runtime as _obs
+from ..obs.events import EventType
+from ..obs.profiling import span
+
+logger = logging.getLogger(__name__)
 
 __all__ = ["GAConfig", "GAResult", "evolve"]
 
@@ -56,12 +64,25 @@ class GAConfig:
 
 @dataclass
 class GAResult:
-    """Outcome of one evolutionary run."""
+    """Outcome of one evolutionary run.
+
+    ``gen_wall_s`` and ``gen_evaluations`` are per-generation telemetry
+    (wall-clock seconds and fitness evaluations, including the initial
+    population's as entry 0); both default empty so pre-telemetry
+    callers and serialized results stay valid.
+    """
 
     best_genome: Genome
     best_fitness: float
     generations_run: int
     history: List[float] = field(default_factory=list)
+    gen_wall_s: List[float] = field(default_factory=list)
+    gen_evaluations: List[int] = field(default_factory=list)
+
+    @property
+    def evaluations(self) -> int:
+        """Total fitness evaluations across the run."""
+        return sum(self.gen_evaluations)
 
 
 def _random_genome(bounds: Sequence[Tuple[int, int]], rng: random.Random) -> Genome:
@@ -135,39 +156,90 @@ def evolve(
         population.append(prepare(_random_genome(bounds, rng)))
     population = population[: config.population]
 
-    scored = [(fitness(g), g) for g in population]
-    scored.sort(key=lambda t: t[0], reverse=True)
-    best_fit, best_genome = scored[0]
-    history = [best_fit]
-    stall = 0
-    gens_run = 0
+    gen_wall_s: List[float] = []
+    gen_evaluations: List[int] = []
 
-    for _ in range(config.generations):
-        gens_run += 1
-        next_gen: List[Genome] = [g for _, g in scored[: config.elitism]]
-        while len(next_gen) < config.population:
-            parent_a = _tournament(scored, config.tournament_k, rng)
-            if rng.random() < config.crossover_rate:
-                parent_b = _tournament(scored, config.tournament_k, rng)
-                child = _crossover(parent_a, parent_b, rng)
-            else:
-                child = list(parent_a)
-            child = _mutate(child, bounds, config.mutation_rate, rng)
-            next_gen.append(prepare(child))
-        scored = [(fitness(g), g) for g in next_gen]
+    def telemetry(gen: int, evals: int, wall_s: float, scored_gen) -> None:
+        gen_wall_s.append(wall_s)
+        gen_evaluations.append(evals)
+        rec = _obs.TRACE
+        if rec is not None:
+            fits = [f for f, _ in scored_gen]
+            rec.emit(
+                EventType.GA_GENERATION,
+                gen=gen,
+                best=max(fits),
+                mean=sum(fits) / len(fits),
+                evals=evals,
+                gen_wall_s=wall_s,
+            )
+        metrics = _obs.METRICS
+        if metrics is not None:
+            metrics.histogram(
+                "repro_ga_generation_seconds",
+                "wall time per GA generation",
+            ).observe(wall_s)
+            metrics.counter(
+                "repro_ga_evaluations_total",
+                "GA fitness evaluations",
+            ).inc(evals)
+
+    with span("ga.evolve"):
+        t0 = time.perf_counter()
+        scored = [(fitness(g), g) for g in population]
         scored.sort(key=lambda t: t[0], reverse=True)
-        if scored[0][0] > best_fit:
-            best_fit, best_genome = scored[0]
-            stall = 0
-        else:
-            stall += 1
-        history.append(best_fit)
-        if config.patience and stall >= config.patience:
-            break
+        telemetry(0, len(population), time.perf_counter() - t0, scored)
+        best_fit, best_genome = scored[0]
+        history = [best_fit]
+        stall = 0
+        gens_run = 0
 
+        for _ in range(config.generations):
+            gens_run += 1
+            t0 = time.perf_counter()
+            next_gen: List[Genome] = [g for _, g in scored[: config.elitism]]
+            while len(next_gen) < config.population:
+                parent_a = _tournament(scored, config.tournament_k, rng)
+                if rng.random() < config.crossover_rate:
+                    parent_b = _tournament(scored, config.tournament_k, rng)
+                    child = _crossover(parent_a, parent_b, rng)
+                else:
+                    child = list(parent_a)
+                child = _mutate(child, bounds, config.mutation_rate, rng)
+                next_gen.append(prepare(child))
+            scored = [(fitness(g), g) for g in next_gen]
+            scored.sort(key=lambda t: t[0], reverse=True)
+            if scored[0][0] > best_fit:
+                best_fit, best_genome = scored[0]
+                stall = 0
+            else:
+                stall += 1
+            history.append(best_fit)
+            telemetry(
+                gens_run, len(next_gen), time.perf_counter() - t0, scored
+            )
+            if config.patience and stall >= config.patience:
+                break
+
+    rec = _obs.TRACE
+    if rec is not None:
+        rec.emit(
+            EventType.GA_DONE,
+            generations=gens_run,
+            best=best_fit,
+            evals=sum(gen_evaluations),
+        )
+    logger.info(
+        "GA finished: %d generations, best fitness %.6g, %d evaluations",
+        gens_run,
+        best_fit,
+        sum(gen_evaluations),
+    )
     return GAResult(
         best_genome=list(best_genome),
         best_fitness=best_fit,
         generations_run=gens_run,
         history=history,
+        gen_wall_s=gen_wall_s,
+        gen_evaluations=gen_evaluations,
     )

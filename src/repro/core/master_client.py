@@ -16,12 +16,15 @@ is raised so callers can fall back to a cached assignment.
 
 from __future__ import annotations
 
+import logging
 import random
 import socket
 import time
 from typing import Callable, Dict, Optional, Tuple
 
 from ..faults.retry import MasterUnavailableError, RetryPolicy
+from ..obs import runtime as _obs
+from ..obs.events import EventType
 from .master import Assignment
 from .protocol import (
     ProtocolError,
@@ -29,6 +32,8 @@ from .protocol import (
     read_message,
     send_message,
 )
+
+logger = logging.getLogger(__name__)
 
 __all__ = ["MasterClient", "MasterRequestError"]
 
@@ -112,6 +117,9 @@ class MasterClient:
         if reconnected:
             self.reconnects += 1
         assert self._sock is not None
+        rec = _obs.TRACE
+        if rec is not None:
+            rec.emit(EventType.MASTER_REQUEST, req=message.get("type"))
         t0 = time.perf_counter()
         try:
             send_message(self._sock, message)
@@ -123,6 +131,18 @@ class MasterClient:
         if response is None:
             self.close()
             raise ProtocolError("master closed the connection")
+        metrics = _obs.METRICS
+        if metrics is not None:
+            metrics.histogram(
+                "repro_master_rtt_seconds",
+                "Master round-trip latency",
+            ).observe(self.last_rtt_s)
+        if rec is not None:
+            rec.emit(
+                EventType.MASTER_RESPONSE,
+                req=message.get("type"),
+                rtt_wall_s=self.last_rtt_s,
+            )
         if response.get("type") == "error":
             raise MasterRequestError(response.get("message", "unknown error"))
         return response
@@ -144,7 +164,40 @@ class MasterClient:
                 if time.monotonic() + backoff >= deadline:
                     break
                 self.retries += 1
+                rec = _obs.TRACE
+                if rec is not None:
+                    rec.emit(
+                        EventType.MASTER_RETRY,
+                        req=message.get("type"),
+                        attempt=attempt,
+                        error=type(exc).__name__,
+                    )
+                metrics = _obs.METRICS
+                if metrics is not None:
+                    metrics.counter(
+                        "repro_master_retries_total",
+                        "Master round-trips retried after transport failure",
+                    ).inc()
+                logger.warning(
+                    "master round-trip failed (attempt %d/%d): %s; retrying",
+                    attempt,
+                    policy.max_attempts,
+                    exc,
+                )
                 self._sleep(backoff)
+        rec = _obs.TRACE
+        if rec is not None:
+            rec.emit(
+                EventType.MASTER_UNAVAILABLE,
+                req=message.get("type"),
+                attempts=policy.max_attempts,
+            )
+        logger.error(
+            "master at %s unreachable after %d attempt(s): %s",
+            self.address,
+            policy.max_attempts,
+            last_error,
+        )
         raise MasterUnavailableError(
             f"master at {self.address} unreachable after {policy.max_attempts}"
             f" attempt(s): {last_error}"

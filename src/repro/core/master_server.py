@@ -17,13 +17,18 @@ exactly what a crashed Master looks like from the operator side.
 
 from __future__ import annotations
 
+import logging
 import socket
 import threading
 import time
 from typing import Callable, Dict, Optional, Tuple
 
 from ..faults.plan import FaultPlan
+from ..obs import runtime as _obs
+from ..obs.events import EventType
 from .master import MasterNode, RegionFullError
+
+logger = logging.getLogger(__name__)
 from .protocol import (
     ProtocolError,
     assignment_to_wire,
@@ -153,7 +158,25 @@ class MasterServer:
                 if self._master_down():
                     # Outage window: vanish mid-exchange, as a crashed
                     # Master would — no error reply, just a dead socket.
+                    # The drop is traced *before* the socket closes, so
+                    # it sequences ahead of the client's retry events.
                     self.dropped_requests += 1
+                    rec = _obs.TRACE
+                    if rec is not None:
+                        rec.emit(
+                            EventType.MASTER_DROPPED,
+                            req=message.get("type"),
+                        )
+                    metrics = _obs.METRICS
+                    if metrics is not None:
+                        metrics.counter(
+                            "repro_master_dropped_total",
+                            "requests dropped during Master outages",
+                        ).inc()
+                    logger.warning(
+                        "master outage: dropping %r request mid-exchange",
+                        message.get("type"),
+                    )
                     return
                 try:
                     response = self._dispatch(message)

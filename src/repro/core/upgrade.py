@@ -15,18 +15,24 @@ the run so operators can re-sync once the Master returns.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..faults.cache import AssignmentCache
 from ..faults.retry import MasterUnavailableError
+from ..obs import runtime as _obs
+from ..obs.events import EventType
+from ..obs.profiling import span
 from ..phy.channels import Channel
 from ..sim.scenario import Network
 from .agents import GatewayAgent, distribution_latency_s
 from .intra_planner import IntraNetworkPlanner, PlanOutcome
 from .master_client import MasterClient
 from .protocol import ProtocolError
+
+logger = logging.getLogger(__name__)
 
 __all__ = ["LatencyBreakdown", "run_capacity_upgrade"]
 
@@ -86,49 +92,77 @@ def run_capacity_upgrade(
     """
     latency = LatencyBreakdown()
 
-    if master_client is not None:
-        if not operator:
-            raise ValueError("operator name required for spectrum sharing")
-        t0 = time.perf_counter()
-        try:
-            assignment = master_client.register(operator)
-        except (MasterUnavailableError, ProtocolError, OSError):
-            cached = (
-                assignment_cache.get(operator)
-                if assignment_cache is not None
-                else None
-            )
-            if cached is None:
-                raise
-            assignment = cached
-            latency.degraded = True
-        latency.master_comm_s = time.perf_counter() - t0
-        if assignment_cache is not None and not latency.degraded:
-            assignment_cache.store(assignment)
-        planner.channels = assignment.channels()
+    with span("upgrade"):
+        if master_client is not None:
+            if not operator:
+                raise ValueError("operator name required for spectrum sharing")
+            t0 = time.perf_counter()
+            with span("upgrade.master_sync"):
+                try:
+                    assignment = master_client.register(operator)
+                except (MasterUnavailableError, ProtocolError, OSError):
+                    cached = (
+                        assignment_cache.get(operator)
+                        if assignment_cache is not None
+                        else None
+                    )
+                    if cached is None:
+                        raise
+                    assignment = cached
+                    latency.degraded = True
+                    logger.warning(
+                        "master unreachable; upgrading %r on the cached "
+                        "assignment",
+                        operator,
+                    )
+            latency.master_comm_s = time.perf_counter() - t0
+            if assignment_cache is not None and not latency.degraded:
+                assignment_cache.store(assignment)
+            planner.channels = assignment.channels()
 
-    outcome = planner.plan()
-    latency.cp_solving_s = outcome.solve_time_s
+        with span("upgrade.cp_solve"):
+            outcome = planner.plan()
+        latency.cp_solving_s = outcome.solve_time_s
 
-    network: Network = planner.network
-    configs: List[List[Channel]] = [
-        outcome.solution.gateway_channels(outcome.cp_input, j)
-        for j in range(len(network.gateways))
-    ]
-    latency.distribution_s = distribution_latency_s(configs)
+        network: Network = planner.network
+        with span("upgrade.distribute"):
+            configs: List[List[Channel]] = [
+                outcome.solution.gateway_channels(outcome.cp_input, j)
+                for j in range(len(network.gateways))
+            ]
+            latency.distribution_s = distribution_latency_s(configs)
 
-    reboot_times = []
-    for gw, channels in zip(network.gateways, configs):
-        agent = GatewayAgent(gateway=gw, seed=agent_seed)
-        reboot_times.append(agent.apply_config(channels))
-    latency.reboot_s = max(reboot_times) if reboot_times else 0.0
+        with span("upgrade.reboot"):
+            reboot_times = []
+            for gw, channels in zip(network.gateways, configs):
+                agent = GatewayAgent(gateway=gw, seed=agent_seed)
+                reboot_times.append(agent.apply_config(channels))
+            latency.reboot_s = max(reboot_times) if reboot_times else 0.0
 
-    if planner.config.optimize_nodes:
-        for i, dev in enumerate(network.devices):
-            ch = outcome.cp_input.channels[outcome.solution.node_channels[i]]
-            tier = outcome.cp_input.tiers[outcome.solution.node_tiers[i]]
-            dev.apply_config(
-                channel=ch, dr=tier.dr, tx_power_dbm=tier.tx_power_dbm
-            )
+        if planner.config.optimize_nodes:
+            for i, dev in enumerate(network.devices):
+                ch = outcome.cp_input.channels[outcome.solution.node_channels[i]]
+                tier = outcome.cp_input.tiers[outcome.solution.node_tiers[i]]
+                dev.apply_config(
+                    channel=ch, dr=tier.dr, tx_power_dbm=tier.tx_power_dbm
+                )
 
+    rec = _obs.TRACE
+    if rec is not None:
+        # Distribution and reboot terms are modelled (deterministic);
+        # CP solving and Master comm are live wall-clock measurements,
+        # so they ride in strippable ``*wall_s`` fields.
+        rec.emit(
+            EventType.UPGRADE_DONE,
+            degraded=latency.degraded,
+            distribution_s=latency.distribution_s,
+            reboot_s=latency.reboot_s,
+            cp_solving_wall_s=latency.cp_solving_s,
+            master_comm_wall_s=latency.master_comm_s,
+        )
+    logger.info(
+        "capacity upgrade done: total %.3fs (degraded=%s)",
+        latency.total_s,
+        latency.degraded,
+    )
     return outcome, latency

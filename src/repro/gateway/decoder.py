@@ -13,7 +13,14 @@ import heapq
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from ..obs import runtime as _obs
+from ..obs.events import EventType
+
 __all__ = ["DecoderLease", "DecoderPool"]
+
+# Decoder-occupancy histogram edges: one bucket per power-of-two pool
+# size up to the largest COTS concentrator (Table 4).
+_OCCUPANCY_BUCKETS = (0, 1, 2, 4, 8, 16, 32)
 
 
 @dataclass(frozen=True)
@@ -50,15 +57,26 @@ class DecoderPool:
         self.total_allocations = 0
         self.total_rejections = 0
         self.busy_time_s = 0.0
+        # Gateway this pool belongs to, for trace attribution (set by
+        # the owning Gateway; -1 for free-standing pools in tests).
+        self.trace_gateway_id = -1
 
     def _reclaim(self, now_s: float) -> None:
         """Release every decoder whose packet has finished by ``now_s``."""
         while self._busy and self._busy[0][0] <= now_s:
-            _, _, lease = heapq.heappop(self._busy)
+            release_s, _, lease = heapq.heappop(self._busy)
             # Decoders above a shrunken capacity retire on release
             # instead of returning to the free list.
             if lease.decoder_index < self.capacity:
                 heapq.heappush(self._free_indices, lease.decoder_index)
+            rec = _obs.TRACE
+            if rec is not None:
+                rec.emit(
+                    EventType.DECODER_RECLAIM,
+                    t=release_s,
+                    gw=self.trace_gateway_id,
+                    dec=lease.decoder_index,
+                )
 
     def busy_count(self, now_s: float) -> int:
         """Number of decoders occupied at ``now_s`` (after reclaiming)."""
@@ -118,8 +136,22 @@ class DecoderPool:
             raise ValueError("release time precedes allocation time")
         self._last_alloc_s = now_s
         self._reclaim(now_s)
+        metrics = _obs.METRICS
+        if metrics is not None:
+            metrics.histogram(
+                "repro_decoder_occupancy",
+                "busy decoders at each allocation attempt",
+                buckets=_OCCUPANCY_BUCKETS,
+                gateway=self.trace_gateway_id,
+            ).observe(len(self._busy))
         if not self._free_indices:
             self.total_rejections += 1
+            if metrics is not None:
+                metrics.counter(
+                    "repro_decoder_rejections_total",
+                    "packets dropped for lack of a free decoder",
+                    gateway=self.trace_gateway_id,
+                ).inc()
             return None
         index = heapq.heappop(self._free_indices)
         lease = DecoderLease(
@@ -133,6 +165,12 @@ class DecoderPool:
         heapq.heappush(self._busy, (release_s, self._seq, lease))
         self.total_allocations += 1
         self.busy_time_s += release_s - now_s
+        if metrics is not None:
+            metrics.counter(
+                "repro_decoder_allocations_total",
+                "decoder leases granted",
+                gateway=self.trace_gateway_id,
+            ).inc()
         return lease
 
     def reset(self) -> None:

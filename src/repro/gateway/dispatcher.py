@@ -12,6 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from ..obs import runtime as _obs
+from ..obs.events import EventType
+from ..obs.profiling import span
 from .decoder import DecoderLease, DecoderPool
 from .detector import Detection
 
@@ -57,15 +60,44 @@ class FcfsDispatcher:
             key=lambda d: (d.lock_on_s, d.tx.network_id, d.tx.node_id),
         )
         results: List[DispatchResult] = []
-        for det in ordered:
-            tx = det.tx
-            blockers: Tuple[DecoderLease, ...] = ()
-            lease = self.pool.try_allocate(
-                det.lock_on_s, tx.end_s, tx.network_id, tx.node_id
-            )
-            if lease is None:
-                blockers = tuple(self.pool.holders(det.lock_on_s))
-            results.append(
-                DispatchResult(detection=det, lease=lease, blockers=blockers)
-            )
+        with span("gw.dispatch"):
+            for det in ordered:
+                tx = det.tx
+                blockers: Tuple[DecoderLease, ...] = ()
+                lease = self.pool.try_allocate(
+                    det.lock_on_s, tx.end_s, tx.network_id, tx.node_id
+                )
+                if lease is None:
+                    blockers = tuple(self.pool.holders(det.lock_on_s))
+                rec = _obs.TRACE
+                if rec is not None:
+                    gw = self.pool.trace_gateway_id
+                    if lease is not None:
+                        rec.emit(
+                            EventType.DECODER_GRANT,
+                            t=det.lock_on_s,
+                            gw=gw,
+                            dec=lease.decoder_index,
+                            until=lease.release_s,
+                            net=tx.network_id,
+                            node=tx.node_id,
+                            ctr=tx.counter,
+                            att=tx.attempt,
+                        )
+                    else:
+                        rec.emit(
+                            EventType.DECODER_REJECT,
+                            t=det.lock_on_s,
+                            gw=gw,
+                            net=tx.network_id,
+                            node=tx.node_id,
+                            ctr=tx.counter,
+                            att=tx.attempt,
+                            blockers=[
+                                b.holder_network_id for b in blockers
+                            ],
+                        )
+                results.append(
+                    DispatchResult(detection=det, lease=lease, blockers=blockers)
+                )
         return results

@@ -14,6 +14,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs import runtime as _obs
+from ..obs.events import EventType
 from ..phy.channels import Channel, overlap_hz
 from ..phy.interference import Interferer, decode_ok
 from ..phy.link import Position, noise_floor_dbm
@@ -99,6 +101,7 @@ class Gateway:
         self._channels: Tuple[Channel, ...] = ()
         self.configure(channels)
         self.pool = DecoderPool(self.model.decoders)
+        self.pool.trace_gateway_id = gateway_id
         self.reboots = 0
 
     @property
@@ -134,6 +137,13 @@ class Gateway:
         """Reboot the gateway (clears the decoder pool); counted for latency."""
         self.pool.reset()
         self.reboots += 1
+        metrics = _obs.METRICS
+        if metrics is not None:
+            metrics.counter(
+                "repro_gateway_reboots_total",
+                "gateway reboots (reconfigurations and crashes)",
+                gateway=self.gateway_id,
+            ).inc()
 
     # Frequency bucket width for the interference index.  Signals more
     # than one channel spacing away cannot overlap a 125/250/500 kHz
@@ -215,6 +225,7 @@ class Gateway:
         index = self._build_time_index(observations)
         detections: List[Detection] = []
         prelim: Dict[int, GatewayReception] = {}
+        rec_trace = _obs.TRACE
 
         for idx, obs in enumerate(observations):
             tx = obs.transmission
@@ -224,6 +235,17 @@ class Gateway:
             if det is not None:
                 detections.append(det)
                 prelim[idx] = None  # resolved by dispatch below
+                if rec_trace is not None:
+                    rec_trace.emit(
+                        EventType.GW_LOCK_ON,
+                        t=det.lock_on_s,
+                        gw=self.gateway_id,
+                        net=tx.network_id,
+                        node=tx.node_id,
+                        ctr=tx.counter,
+                        att=tx.attempt,
+                        snr_db=det.snr_db,
+                    )
                 continue
             if match_rx_channel(tx.channel, self._channels) is None:
                 outcome = Outcome.CHANNEL_MISMATCH
@@ -286,11 +308,30 @@ class Gateway:
             results_by_tx[self._tx_key(tx)] = record
 
         out: List[GatewayReception] = []
+        metrics = _obs.METRICS
         for idx, obs in enumerate(observations):
             rec = prelim[idx]
             if rec is None:
                 rec = results_by_tx[self._tx_key(obs.transmission)]
             out.append(rec)
+            tx = rec.transmission
+            if rec_trace is not None:
+                rec_trace.emit(
+                    EventType.GW_RECEPTION,
+                    t=tx.start_s,
+                    gw=self.gateway_id,
+                    net=tx.network_id,
+                    node=tx.node_id,
+                    ctr=tx.counter,
+                    att=tx.attempt,
+                    outcome=rec.outcome.value,
+                )
+            if metrics is not None:
+                metrics.counter(
+                    "repro_outcomes_total",
+                    "per-gateway reception outcomes",
+                    outcome=rec.outcome.value,
+                ).inc()
         return out
 
     @staticmethod

@@ -13,6 +13,7 @@ raises a ``degraded`` flag instead of suspending the network.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -20,9 +21,13 @@ from ..faults.cache import AssignmentCache
 from ..faults.retry import MasterUnavailableError
 from ..gateway.gateway import Gateway, GatewayReception, Outcome
 from ..node.device import EndDevice
+from ..obs import runtime as _obs
+from ..obs.events import EventType
 from ..phy.channels import Channel
 from ..phy.lora import DataRate
 from .records import UplinkRecord, format_log_line
+
+logger = logging.getLogger(__name__)
 
 __all__ = ["NetworkServer"]
 
@@ -87,6 +92,8 @@ class NetworkServer:
         copy wins, as in ChirpStack's dedup window).
         """
         fresh: List[UplinkRecord] = []
+        rec_trace = _obs.TRACE
+        metrics = _obs.METRICS
         for rec in receptions:
             if rec.outcome is not Outcome.RECEIVED:
                 continue
@@ -107,7 +114,31 @@ class NetworkServer:
             )
             self.records.append(record)
             key = record.key()
-            if key in self._seen:
+            dup = key in self._seen
+            if rec_trace is not None:
+                rec_trace.emit(
+                    EventType.NETSERVER_UPLINK,
+                    t=record.timestamp_s,
+                    gw=record.gateway_id,
+                    net=record.network_id,
+                    node=record.node_id,
+                    ctr=record.counter,
+                    att=tx.attempt,
+                    dup=dup,
+                )
+            if metrics is not None:
+                metrics.counter(
+                    "repro_netserver_uplinks_total",
+                    "own-network uplinks ingested (including duplicates)",
+                    network=self.network_id,
+                ).inc()
+                if dup:
+                    metrics.counter(
+                        "repro_netserver_duplicates_total",
+                        "multi-gateway copies collapsed by dedup",
+                        network=self.network_id,
+                    ).inc()
+            if dup:
                 self.duplicates += 1
                 continue
             self._seen.add(key)
@@ -183,6 +214,19 @@ class NetworkServer:
             self.degraded = True
             self.degraded_syncs += 1
             self.last_assignment = cached
+            rec_trace = _obs.TRACE
+            if rec_trace is not None:
+                rec_trace.emit(
+                    EventType.NETSERVER_DEGRADED,
+                    net=self.network_id,
+                    syncs=self.degraded_syncs,
+                )
+            logger.warning(
+                "network %d: master unreachable, serving cached assignment "
+                "(degraded sync #%d)",
+                self.network_id,
+                self.degraded_syncs,
+            )
             return cached
         self.degraded = False
         self.last_assignment = assignment

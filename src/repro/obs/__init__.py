@@ -1,0 +1,142 @@
+"""Observability: structured tracing, metrics, and profiling hooks.
+
+The paper's core finding — capacity bounded by FCFS decoder scheduling,
+not RF collisions — came from instrumenting the gateway reception
+pipeline and dissecting its logs.  This package gives the reproduction
+the same discipline at run time, with zero dependencies and zero
+behavioural impact:
+
+* :class:`TraceRecorder` — typed, timestamped events (lock-ons, decoder
+  lease grants/rejections, decode outcomes, backhaul fates, reboots,
+  Master retries, GA telemetry) exported as schema-versioned JSONL.
+* :class:`MetricsRegistry` — counters / gauges / histograms with
+  Prometheus-text and JSON export.
+* :func:`span` — nested profiling spans aggregated into a per-run
+  flame summary.
+* :func:`observe` — scoped activation; every hook in the simulation
+  stack is a no-op unless a session is active.
+
+Usage::
+
+    from repro.obs import observe
+
+    with observe() as session:
+        result = run_chaos(seed=0)
+    session.recorder.write_jsonl("chaos_trace.jsonl")
+    print(session.metrics.to_prometheus())
+    print(session.flame())
+
+Traces are deterministic: events carry simulation time only; wall-clock
+measurements live in ``*wall_s`` fields stripped from the canonical
+export, and in the run manifest (the first JSONL line).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+from . import runtime
+from .events import EventType, TraceEvent
+from .logconf import setup_logging
+from .manifest import build_manifest, config_digest, git_revision, scrub_wall_fields
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profiling import SpanAggregator, SpanStat, render_flame, span
+from .recorder import TraceRecorder, load_trace
+from .timeline import (
+    decoder_occupancy,
+    filter_events,
+    final_run_events,
+    packet_timelines,
+    render_occupancy,
+    run_segments,
+    summarize_trace,
+    trace_outcome_counts,
+)
+
+__all__ = [
+    "EventType",
+    "TraceEvent",
+    "TraceRecorder",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "SpanAggregator",
+    "SpanStat",
+    "span",
+    "render_flame",
+    "ObservabilitySession",
+    "observe",
+    "setup_logging",
+    "build_manifest",
+    "config_digest",
+    "git_revision",
+    "scrub_wall_fields",
+    "load_trace",
+    "run_segments",
+    "final_run_events",
+    "trace_outcome_counts",
+    "packet_timelines",
+    "decoder_occupancy",
+    "filter_events",
+    "summarize_trace",
+    "render_occupancy",
+    "runtime",
+]
+
+
+class ObservabilitySession:
+    """The recorder / registry / span aggregator of one observed run."""
+
+    def __init__(
+        self,
+        recorder: Optional[TraceRecorder],
+        metrics: Optional[MetricsRegistry],
+        spans: Optional[SpanAggregator],
+    ) -> None:
+        self.recorder = recorder
+        self.metrics = metrics
+        self.spans = spans
+
+    def flame(self) -> str:
+        """Rendered flame summary of the recorded spans."""
+        if self.spans is None:
+            return "(profiling disabled)"
+        return render_flame(self.spans.flame_summary())
+
+    def event_counts(self) -> Dict[str, int]:
+        """Events recorded so far, by type (empty when tracing is off)."""
+        if self.recorder is None:
+            return {}
+        return dict(sorted(self.recorder.counts.items()))
+
+
+@contextmanager
+def observe(
+    trace: bool = True,
+    metrics: bool = True,
+    spans: bool = True,
+    manifest: Optional[Dict[str, Any]] = None,
+) -> Iterator[ObservabilitySession]:
+    """Activate observability for the dynamic extent of the block.
+
+    Only one session can be active per process (the hooks read
+    process-local slots); nested sessions raise ``RuntimeError``.
+    """
+    if (
+        runtime.TRACE is not None
+        or runtime.METRICS is not None
+        or runtime.SPANS is not None
+    ):
+        raise RuntimeError("an observability session is already active")
+    session = ObservabilitySession(
+        recorder=TraceRecorder(manifest=manifest) if trace else None,
+        metrics=MetricsRegistry() if metrics else None,
+        spans=SpanAggregator() if spans else None,
+    )
+    runtime.activate(session.recorder, session.metrics, session.spans)
+    try:
+        yield session
+    finally:
+        runtime.deactivate()

@@ -1,0 +1,112 @@
+"""The trace event taxonomy and the event record itself.
+
+Every event is a typed, timestamped record with a monotonically
+increasing per-recorder sequence number.  Timestamps are **simulation
+time** (``t``), never wall clock, so two runs under the same seed emit
+byte-identical traces.  Wall-clock measurements (GA generation times,
+Master RTTs, CP solve time) travel in fields whose names end in
+``wall_s``; the JSONL exporter strips those by default so the canonical
+trace stays deterministic (see ``DESIGN.md`` §8 for the schema).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+__all__ = ["EventType", "TraceEvent", "WALL_SUFFIX"]
+
+# Fields carrying wall-clock measurements end with this suffix and are
+# excluded from the canonical (deterministic) JSONL export.
+WALL_SUFFIX = "wall_s"
+
+
+class EventType:
+    """String constants naming every event the stack can emit.
+
+    Grouped by subsystem; the full field-by-field schema is documented
+    in ``DESIGN.md`` §8 ("Observability").
+    """
+
+    MANIFEST = "manifest"
+
+    # Simulation runs (one batch/online window each).
+    SIM_RUN_START = "sim.run_start"
+    SIM_RUN_END = "sim.run_end"
+
+    # Gateway reception pipeline.
+    GW_LOCK_ON = "gw.lock_on"
+    DECODER_GRANT = "decoder.grant"
+    DECODER_REJECT = "decoder.reject"
+    DECODER_RECLAIM = "decoder.reclaim"
+    GW_RECEPTION = "gw.reception"
+    GW_REBOOT = "gw.reboot"
+    POOL_RESIZE = "pool.resize"
+
+    # Backhaul (gateway -> network server).
+    BACKHAUL_DROP = "backhaul.drop"
+    BACKHAUL_DELAY = "backhaul.delay"
+
+    # Confirmed-uplink retransmission driver.
+    RETX_ROUND = "retx.round"
+
+    # AlphaWAN Master control plane.
+    MASTER_REQUEST = "master.request"
+    MASTER_RESPONSE = "master.response"
+    MASTER_RETRY = "master.retry"
+    MASTER_UNAVAILABLE = "master.unavailable"
+    MASTER_DROPPED = "master.dropped"
+
+    # Network server.
+    NETSERVER_UPLINK = "netserver.uplink"
+    NETSERVER_DEGRADED = "netserver.degraded"
+
+    # Capacity upgrades and the evolutionary planner.
+    UPGRADE_DONE = "upgrade.done"
+    GA_GENERATION = "ga.generation"
+    GA_DONE = "ga.done"
+
+
+class TraceEvent:
+    """One typed event on the trace.
+
+    Attributes:
+        seq: Per-recorder monotone sequence number (total order).
+        etype: One of the :class:`EventType` constants.
+        t: Simulation-time instant, or ``None`` for control-plane
+            events with no position on the simulated timeline.
+        fields: Event-specific payload (JSON-serializable scalars and
+            flat lists only).
+    """
+
+    __slots__ = ("seq", "etype", "t", "fields")
+
+    def __init__(
+        self,
+        seq: int,
+        etype: str,
+        t: Optional[float],
+        fields: Dict[str, Any],
+    ) -> None:
+        self.seq = seq
+        self.etype = etype
+        self.t = t
+        self.fields = fields
+
+    def to_dict(self, include_wall: bool = False) -> Dict[str, Any]:
+        """Flatten into the JSONL wire shape.
+
+        Args:
+            include_wall: Keep wall-clock fields (``*wall_s``); the
+                default drops them so exports are seed-deterministic.
+        """
+        out: Dict[str, Any] = {"seq": self.seq, "type": self.etype}
+        if self.t is not None:
+            out["t"] = self.t
+        for key, value in self.fields.items():
+            if not include_wall and key.endswith(WALL_SUFFIX):
+                continue
+            out[key] = value
+        return out
+
+    def __repr__(self) -> str:
+        return f"TraceEvent(seq={self.seq}, type={self.etype!r}, t={self.t})"

@@ -1,0 +1,64 @@
+"""Stdlib logging wiring for the ``repro.*`` logger hierarchy.
+
+Every module logs through ``logging.getLogger(__name__)``, which places
+it under the ``repro`` root logger.  :func:`setup_logging` attaches one
+stream handler there and maps the CLI's ``-v``/``-q`` flags onto levels:
+
+=========  =========
+verbosity  level
+=========  =========
+``-q``     ERROR
+(default)  WARNING
+``-v``     INFO
+``-vv``    DEBUG
+=========  =========
+
+Calling it twice replaces the handler instead of stacking duplicates.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO
+
+__all__ = ["setup_logging", "verbosity_to_level"]
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_HANDLER_NAME = "repro-obs-handler"
+
+
+def verbosity_to_level(verbosity: int) -> int:
+    """Map a -q/-v count (-1, 0, 1, 2+) to a logging level."""
+    if verbosity <= -1:
+        return logging.ERROR
+    if verbosity == 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def setup_logging(
+    verbosity: int = 0, stream: Optional[TextIO] = None
+) -> logging.Logger:
+    """Configure the ``repro`` logger hierarchy; returns the root logger.
+
+    Args:
+        verbosity: Net ``-v`` minus ``-q`` count from the CLI.
+        stream: Destination (defaults to stderr so JSON on stdout stays
+            machine-readable).
+    """
+    root = logging.getLogger("repro")
+    root.setLevel(verbosity_to_level(verbosity))
+    for handler in list(root.handlers):
+        if handler.get_name() == _HANDLER_NAME:
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.set_name(_HANDLER_NAME)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    root.addHandler(handler)
+    # Experiments are driven as a library too; never bubble to the
+    # (possibly differently configured) global root logger.
+    root.propagate = False
+    return root

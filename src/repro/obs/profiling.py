@@ -1,0 +1,151 @@
+"""Lightweight profiling spans aggregated into a per-run flame summary.
+
+Usage::
+
+    with span("dispatch"):
+        ...
+
+Spans nest: entering ``span("decode")`` inside ``span("dispatch")``
+aggregates under the path ``dispatch/decode``.  Aggregation keeps only
+(count, total, min, max) per path — no per-entry records — so spans are
+cheap enough for per-gateway and per-generation granularity.  When no
+:class:`SpanAggregator` is active (the default) a span is a single
+module-attribute load plus a ``None`` check.
+
+Span timings are wall clock and therefore never written into the event
+trace; they surface through :meth:`SpanAggregator.flame_summary` and
+:func:`render_flame`.
+"""
+
+from __future__ import annotations
+
+import threading
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple
+
+from . import runtime
+
+__all__ = ["span", "SpanAggregator", "SpanStat", "render_flame"]
+
+
+class SpanStat:
+    """Aggregate timing of one span path."""
+
+    __slots__ = ("count", "total_s", "min_s", "max_s")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_s = 0.0
+        self.min_s = float("inf")
+        self.max_s = 0.0
+
+    def add(self, elapsed_s: float) -> None:
+        self.count += 1
+        self.total_s += elapsed_s
+        if elapsed_s < self.min_s:
+            self.min_s = elapsed_s
+        if elapsed_s > self.max_s:
+            self.max_s = elapsed_s
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-friendly snapshot."""
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "min_s": self.min_s if self.count else 0.0,
+            "max_s": self.max_s,
+            "mean_s": self.total_s / self.count if self.count else 0.0,
+        }
+
+
+class SpanAggregator:
+    """Collects span timings per nesting path (thread-safe).
+
+    Each thread keeps its own nesting stack (the Master server times
+    request handling on worker threads); the aggregate map is shared.
+    """
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._stats: Dict[str, SpanStat] = {}
+        self._lock = threading.Lock()
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def push(self, name: str) -> None:
+        """Enter a span named ``name``."""
+        self._stack().append(name)
+
+    def pop(self, elapsed_s: float) -> None:
+        """Leave the innermost span, crediting ``elapsed_s`` to its path."""
+        stack = self._stack()
+        path = "/".join(stack)
+        stack.pop()
+        with self._lock:
+            stat = self._stats.get(path)
+            if stat is None:
+                stat = SpanStat()
+                self._stats[path] = stat
+            stat.add(elapsed_s)
+
+    def flame_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-path aggregates, sorted by path (parents before children)."""
+        with self._lock:
+            return {
+                path: self._stats[path].to_dict()
+                for path in sorted(self._stats)
+            }
+
+
+class span:
+    """Context manager timing one named region (no-op when disabled)."""
+
+    __slots__ = ("name", "_agg", "_t0")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __enter__(self) -> "span":
+        agg = runtime.SPANS
+        self._agg = agg
+        if agg is not None:
+            agg.push(self.name)
+            self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        agg = self._agg
+        if agg is not None:
+            agg.pop(perf_counter() - self._t0)
+        return False
+
+
+def render_flame(
+    summary: Dict[str, Dict[str, float]], width: int = 40
+) -> str:
+    """ASCII flame summary: one indented row per span path.
+
+    Bars scale against the largest root total; child rows indent under
+    their parents (paths sort that way naturally).
+    """
+    if not summary:
+        return "(no spans recorded)"
+    roots = [p for p in summary if "/" not in p]
+    top = max((summary[p]["total_s"] for p in roots), default=0.0)
+    top = max(top, 1e-12)
+    lines = []
+    for path in summary:
+        stat = summary[path]
+        depth = path.count("/")
+        name = path.rsplit("/", 1)[-1]
+        bar = "#" * max(1, int(round(stat["total_s"] / top * width)))
+        lines.append(
+            f"{'  ' * depth}{name:<{max(28 - 2 * depth, 8)}} "
+            f"{stat['total_s'] * 1e3:9.2f} ms  x{stat['count']:<5d} {bar}"
+        )
+    return "\n".join(lines)

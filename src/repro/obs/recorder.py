@@ -1,0 +1,137 @@
+"""The process-local trace recorder and its JSONL import/export.
+
+The recorder appends :class:`~repro.obs.events.TraceEvent` records under
+a lock (the Master server handles requests on worker threads) and keeps
+a per-type counter so summaries and benchmark reports are O(1).
+
+Export writes one JSON object per line.  The first line is the run
+manifest (the only place wall-clock values appear by default); every
+subsequent line is an event in sequence order.  With the same seed two
+runs export byte-identical traces — wall-clock fields (``*wall_s``)
+are stripped unless ``include_wall=True``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import Counter
+from typing import Any, Dict, Iterable, List, Optional
+
+from .events import EventType, TraceEvent
+
+__all__ = ["TraceRecorder", "load_trace"]
+
+TRACE_SCHEMA_VERSION = 1
+
+
+class TraceRecorder:
+    """Collects typed events for one observability session.
+
+    Args:
+        manifest: Optional run manifest written as the first JSONL line
+            (see :func:`repro.obs.manifest.build_manifest`).
+        max_events: Safety cap; once reached further events are counted
+            in ``dropped_events`` instead of stored.  The default is
+            generous — a fast chaos run emits a few thousand events.
+    """
+
+    def __init__(
+        self,
+        manifest: Optional[Dict[str, Any]] = None,
+        max_events: int = 5_000_000,
+    ) -> None:
+        self.manifest: Dict[str, Any] = dict(manifest or {})
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        self.counts: Counter = Counter()
+        self.dropped_events = 0
+        self._seq = 0
+        self._run_index = 0
+        self._lock = threading.Lock()
+
+    # -- emission ---------------------------------------------------------
+
+    def emit(self, etype: str, t: Optional[float] = None, **fields: Any) -> None:
+        """Append one event (thread-safe)."""
+        with self._lock:
+            self.counts[etype] += 1
+            if len(self.events) >= self.max_events:
+                self.dropped_events += 1
+                return
+            self._seq += 1
+            self.events.append(TraceEvent(self._seq, etype, t, fields))
+
+    def next_run_index(self) -> int:
+        """Allocate the index for a new simulation run segment."""
+        with self._lock:
+            self._run_index += 1
+            return self._run_index
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- export -----------------------------------------------------------
+
+    def to_dicts(self, include_wall: bool = False) -> List[Dict[str, Any]]:
+        """All events (manifest first) in wire shape."""
+        out: List[Dict[str, Any]] = []
+        if self.manifest:
+            head = {"type": EventType.MANIFEST, "schema": TRACE_SCHEMA_VERSION}
+            head.update(self.manifest)
+            out.append(head)
+        out.extend(ev.to_dict(include_wall=include_wall) for ev in self.events)
+        return out
+
+    def to_jsonl(self, include_wall: bool = False) -> str:
+        """Serialize the trace as JSON Lines text."""
+        return (
+            "\n".join(
+                json.dumps(d, separators=(",", ":"))
+                for d in self.to_dicts(include_wall=include_wall)
+            )
+            + "\n"
+        )
+
+    def write_jsonl(self, path: str, include_wall: bool = False) -> None:
+        """Write the JSONL trace to ``path``."""
+        with open(path, "w") as fh:
+            fh.write(self.to_jsonl(include_wall=include_wall))
+
+    def canonical_bytes(self) -> bytes:
+        """Deterministic byte form: events only, wall fields stripped.
+
+        Two runs under the same seed produce equal ``canonical_bytes``
+        (the manifest — the only wall-clock carrier — is excluded).
+        """
+        return (
+            "\n".join(
+                json.dumps(ev.to_dict(include_wall=False), separators=(",", ":"))
+                for ev in self.events
+            )
+            + "\n"
+        ).encode()
+
+    def clear(self) -> None:
+        """Drop every recorded event (a new measurement epoch)."""
+        with self._lock:
+            self.events.clear()
+            self.counts.clear()
+            self.dropped_events = 0
+            self._seq = 0
+            self._run_index = 0
+
+
+def load_trace(path: str) -> List[Dict[str, Any]]:
+    """Load a JSONL trace written by :meth:`TraceRecorder.write_jsonl`.
+
+    Returns the raw event dictionaries in file order (manifest first
+    when present); :mod:`repro.obs.timeline` consumes this shape.
+    """
+    out: List[Dict[str, Any]] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out

@@ -1,0 +1,43 @@
+"""Process-local observability state shared by every instrumented module.
+
+Instrumented hot paths (decoder pool, dispatcher, engine) are written
+against three module-level slots that default to ``None``:
+
+* :data:`TRACE` — the active :class:`~repro.obs.recorder.TraceRecorder`
+* :data:`METRICS` — the active :class:`~repro.obs.metrics.MetricsRegistry`
+* :data:`SPANS` — the active :class:`~repro.obs.profiling.SpanAggregator`
+
+A hook is a single attribute load plus a ``None`` check when
+observability is disabled — the overhead budget for the default
+(untraced) configuration is <5 % of the hot-path wall time, asserted by
+``benchmarks/test_obs_overhead.py``.  Activation is scoped with
+:func:`repro.obs.observe` rather than set directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["TRACE", "METRICS", "SPANS", "activate", "deactivate"]
+
+# The active observability session components (None = disabled).
+TRACE = None  # type: Optional["TraceRecorder"]  # noqa: F821
+METRICS = None  # type: Optional["MetricsRegistry"]  # noqa: F821
+SPANS = None  # type: Optional["SpanAggregator"]  # noqa: F821
+
+
+def activate(trace=None, metrics=None, spans=None) -> None:
+    """Install session components into the module slots.
+
+    Called by :func:`repro.obs.observe`; tests may call it directly.
+    Passing ``None`` for a component leaves that dimension disabled.
+    """
+    global TRACE, METRICS, SPANS
+    TRACE = trace
+    METRICS = metrics
+    SPANS = spans
+
+
+def deactivate() -> None:
+    """Disable all observability (restores the zero-overhead default)."""
+    activate(None, None, None)

@@ -19,17 +19,23 @@ seeded sub-streams, so a chaos run is exactly reproducible.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..faults.plan import FaultPlan
 from ..gateway.detector import detect
 from ..gateway.gateway import Gateway, GatewayReception, Outcome
+from ..obs import runtime as _obs
+from ..obs.events import EventType
+from ..obs.profiling import span
 from ..phy.channels import Channel
 from ..phy.interference import decode_ok
 from ..phy.link import noise_floor_dbm
 from ..types import Observation, Transmission
 from .simulator import SimulationResult, Simulator, tx_key
+
+logger = logging.getLogger(__name__)
 
 __all__ = ["Reconfiguration", "OnlineSimulator", "OFFLINE_OUTCOME"]
 
@@ -88,18 +94,40 @@ class OnlineSimulator(Simulator):
         result = SimulationResult(
             transmissions=list(transmissions), gateways=self.gateways
         )
-        for tx in transmissions:
-            result.receptions.setdefault(tx_key(tx), [])
-        reconfig_by_gw: Dict[int, List[Reconfiguration]] = {}
-        for rc in reconfigurations:
-            reconfig_by_gw.setdefault(rc.gateway_id, []).append(rc)
-        for gw in self.gateways:
-            obs = self.observations_at(gw, transmissions)
-            events = self._gateway_events(
-                gw, reconfig_by_gw.get(gw.gateway_id, []), fault_plan
+        rec = _obs.TRACE
+        run_index = rec.next_run_index() if rec is not None else 0
+        if rec is not None:
+            rec.emit(
+                EventType.SIM_RUN_START,
+                run=run_index,
+                txs=len(result.transmissions),
+                gateways=len(self.gateways),
+                online=True,
             )
-            for record in self._run_gateway(gw, obs, events, fault_plan):
-                result.receptions[tx_key(record.transmission)].append(record)
+        logger.debug(
+            "run_online: %d transmissions, %d gateways, %d reconfigurations",
+            len(result.transmissions),
+            len(self.gateways),
+            len(reconfigurations),
+        )
+        with span("sim.run_online"):
+            for tx in transmissions:
+                result.receptions.setdefault(tx_key(tx), [])
+            reconfig_by_gw: Dict[int, List[Reconfiguration]] = {}
+            for rc in reconfigurations:
+                reconfig_by_gw.setdefault(rc.gateway_id, []).append(rc)
+            for gw in self.gateways:
+                with span("gateway"):
+                    obs = self.observations_at(gw, transmissions)
+                    events = self._gateway_events(
+                        gw, reconfig_by_gw.get(gw.gateway_id, []), fault_plan
+                    )
+                    for record in self._run_gateway(gw, obs, events, fault_plan):
+                        result.receptions[tx_key(record.transmission)].append(
+                            record
+                        )
+        if rec is not None:
+            rec.emit(EventType.SIM_RUN_END, run=run_index)
         return result
 
     @staticmethod
@@ -152,6 +180,7 @@ class OnlineSimulator(Simulator):
         """Process one gateway's timeline: lock-ons + timeline events."""
         gw.pool.reset()
         gw.pool.resize(gw.model.decoders)
+        rec_trace = _obs.TRACE
         index = gw._build_time_index(observations)
         noise_figure = gw.noise_figure_db
         backhaul_rng = (
@@ -187,9 +216,24 @@ class OnlineSimulator(Simulator):
                     gw.configure(channels)
                 if ev.decoders is not None:
                     gw.pool.resize(ev.decoders)
+                    if rec_trace is not None:
+                        rec_trace.emit(
+                            EventType.POOL_RESIZE,
+                            t=ev.time_s,
+                            gw=gw.gateway_id,
+                            decoders=ev.decoders,
+                        )
                 if not ev.reboot:
                     continue
                 gw.reboot()  # aborts in-flight receptions (pool reset)
+                if rec_trace is not None:
+                    rec_trace.emit(
+                        EventType.GW_REBOOT,
+                        t=ev.time_s,
+                        gw=gw.gateway_id,
+                        outage=ev.outage_s,
+                        reason="reconfig" if ev.channels is not None else "crash",
+                    )
                 offline_until = max(offline_until, ev.time_s + ev.outage_s)
                 # Receptions still on air when the radio restarts are
                 # lost; every other field of the record is preserved so
@@ -214,6 +258,17 @@ class OnlineSimulator(Simulator):
                 continue
 
             det = detect(obs, channels, noise_figure_db=noise_figure)
+            if det is not None and rec_trace is not None:
+                rec_trace.emit(
+                    EventType.GW_LOCK_ON,
+                    t=det.lock_on_s,
+                    gw=gw.gateway_id,
+                    net=tx.network_id,
+                    node=tx.node_id,
+                    ctr=tx.counter,
+                    att=tx.attempt,
+                    snr_db=det.snr_db,
+                )
             if det is None:
                 from ..gateway.detector import match_rx_channel
 
@@ -235,6 +290,21 @@ class OnlineSimulator(Simulator):
                 det.lock_on_s, tx.end_s, tx.network_id, tx.node_id
             )
             if lease is None:
+                blockers = tuple(
+                    l.holder_network_id
+                    for l in gw.pool.holders(det.lock_on_s)
+                )
+                if rec_trace is not None:
+                    rec_trace.emit(
+                        EventType.DECODER_REJECT,
+                        t=det.lock_on_s,
+                        gw=gw.gateway_id,
+                        net=tx.network_id,
+                        node=tx.node_id,
+                        ctr=tx.counter,
+                        att=tx.attempt,
+                        blockers=list(blockers),
+                    )
                 out.append(
                     GatewayReception(
                         gateway_id=gw.gateway_id,
@@ -243,13 +313,22 @@ class OnlineSimulator(Simulator):
                         rx_channel=det.rx_channel,
                         snr_db=det.snr_db,
                         lock_on_s=det.lock_on_s,
-                        blocker_network_ids=tuple(
-                            l.holder_network_id
-                            for l in gw.pool.holders(det.lock_on_s)
-                        ),
+                        blocker_network_ids=blockers,
                     )
                 )
                 continue
+            if rec_trace is not None:
+                rec_trace.emit(
+                    EventType.DECODER_GRANT,
+                    t=det.lock_on_s,
+                    gw=gw.gateway_id,
+                    dec=lease.decoder_index,
+                    until=lease.release_s,
+                    net=tx.network_id,
+                    node=tx.node_id,
+                    ctr=tx.counter,
+                    att=tx.attempt,
+                )
 
             noise = noise_floor_dbm(tx.channel.bandwidth_hz, noise_figure)
             if gw.collision_resilient:
@@ -274,10 +353,31 @@ class OnlineSimulator(Simulator):
                 if fault is not None:
                     if backhaul_rng.random() < fault.drop_prob:
                         outcome = Outcome.BACKHAUL_LOST
+                        if rec_trace is not None:
+                            rec_trace.emit(
+                                EventType.BACKHAUL_DROP,
+                                t=tx.end_s,
+                                gw=gw.gateway_id,
+                                net=tx.network_id,
+                                node=tx.node_id,
+                                ctr=tx.counter,
+                                att=tx.attempt,
+                            )
                     elif fault.delay_mean_s > 0 or fault.delay_jitter_s > 0:
                         backhaul_delay_s = fault.delay_mean_s + (
                             backhaul_rng.uniform(0.0, fault.delay_jitter_s)
                         )
+                        if rec_trace is not None:
+                            rec_trace.emit(
+                                EventType.BACKHAUL_DELAY,
+                                t=tx.end_s,
+                                gw=gw.gateway_id,
+                                net=tx.network_id,
+                                node=tx.node_id,
+                                ctr=tx.counter,
+                                att=tx.attempt,
+                                delay=backhaul_delay_s,
+                            )
             out.append(
                 GatewayReception(
                     gateway_id=gw.gateway_id,
@@ -292,4 +392,30 @@ class OnlineSimulator(Simulator):
             in_flight.append((tx.end_s, len(out) - 1))
             # Drop finished receptions from the in-flight watchlist.
             in_flight = [(e, i) for e, i in in_flight if e > now]
+
+        # Final per-packet outcomes, emitted only after the whole
+        # timeline ran: a later reboot can retroactively turn an
+        # in-flight reception into GATEWAY_OFFLINE, and the trace must
+        # carry the authoritative fate (it reproduces outcome_counts).
+        metrics = _obs.METRICS
+        if rec_trace is not None or metrics is not None:
+            for record in out:
+                tx = record.transmission
+                if rec_trace is not None:
+                    rec_trace.emit(
+                        EventType.GW_RECEPTION,
+                        t=tx.start_s,
+                        gw=gw.gateway_id,
+                        net=tx.network_id,
+                        node=tx.node_id,
+                        ctr=tx.counter,
+                        att=tx.attempt,
+                        outcome=record.outcome.value,
+                    )
+                if metrics is not None:
+                    metrics.counter(
+                        "repro_outcomes_total",
+                        "per-gateway reception outcomes",
+                        outcome=record.outcome.value,
+                    ).inc()
         return out

@@ -16,15 +16,25 @@ itself a load spike, and the model captures that).  The final round's
 
 from __future__ import annotations
 
+import logging
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..faults.plan import FaultPlan
 from ..faults.retry import RetransmitPolicy
+from ..obs import runtime as _obs
+from ..obs.events import EventType
+from ..obs.profiling import span
 from ..types import Transmission
 from .engine import OnlineSimulator, Reconfiguration
 from .simulator import SimulationResult
+
+logger = logging.getLogger(__name__)
+
+# Retry-depth histogram edges: one bucket per attempt up to the default
+# LoRaWAN confirmed-uplink budget.
+_RETRY_BUCKETS = (0, 1, 2, 3, 4, 5, 6, 7, 8)
 
 __all__ = ["ResilientResult", "run_with_retransmissions"]
 
@@ -119,46 +129,77 @@ def run_with_retransmissions(
     # Frames that already exhausted their budget (or ran off-window).
     abandoned: set = set()
     rounds = 0
-    result = sim.run_online(all_txs, reconfigurations, fault_plan=fault_plan)
-    while rounds < policy.max_retries:
-        rounds += 1
-        # Latest attempt of each undelivered confirmed frame.
-        latest: Dict[FrameKey, Transmission] = {}
-        delivered_keys = set()
-        for tx in result.transmissions:
-            if not tx.confirmed:
-                continue
-            if result.delivered(tx):
-                delivered_keys.add(tx.key())
-                continue
-            key = tx.key()
-            prev = latest.get(key)
-            if prev is None or tx.attempt > prev.attempt:
-                latest[key] = tx
-        fresh: List[Transmission] = []
-        for key in sorted(latest):
-            if key in delivered_keys or key in abandoned:
-                continue
-            tx = latest[key]
-            if tx.attempt >= policy.max_retries:
-                abandoned.add(key)
-                continue
-            device = _device_for(sim, tx)
-            if device is None:
-                abandoned.add(key)
-                continue
-            start_s = tx.end_s + policy.delay_s(tx.attempt + 1, rng)
-            if start_s > window_s:
-                abandoned.add(key)
-                continue
-            fresh.append(device.retransmit(tx, start_s))
-        if not fresh:
-            break
-        retransmissions.extend(fresh)
-        all_txs = sorted(all_txs + fresh, key=lambda t: t.start_s)
+    with span("sim.retransmissions"):
         result = sim.run_online(
             all_txs, reconfigurations, fault_plan=fault_plan
         )
-    return ResilientResult(
+        while rounds < policy.max_retries:
+            rounds += 1
+            # Latest attempt of each undelivered confirmed frame.
+            latest: Dict[FrameKey, Transmission] = {}
+            delivered_keys = set()
+            for tx in result.transmissions:
+                if not tx.confirmed:
+                    continue
+                if result.delivered(tx):
+                    delivered_keys.add(tx.key())
+                    continue
+                key = tx.key()
+                prev = latest.get(key)
+                if prev is None or tx.attempt > prev.attempt:
+                    latest[key] = tx
+            fresh: List[Transmission] = []
+            for key in sorted(latest):
+                if key in delivered_keys or key in abandoned:
+                    continue
+                tx = latest[key]
+                if tx.attempt >= policy.max_retries:
+                    abandoned.add(key)
+                    continue
+                device = _device_for(sim, tx)
+                if device is None:
+                    abandoned.add(key)
+                    continue
+                start_s = tx.end_s + policy.delay_s(tx.attempt + 1, rng)
+                if start_s > window_s:
+                    abandoned.add(key)
+                    continue
+                fresh.append(device.retransmit(tx, start_s))
+            rec = _obs.TRACE
+            if rec is not None:
+                rec.emit(
+                    EventType.RETX_ROUND,
+                    round=rounds,
+                    fresh=len(fresh),
+                    abandoned=len(abandoned),
+                )
+            logger.debug(
+                "retransmission round %d: %d fresh, %d abandoned",
+                rounds,
+                len(fresh),
+                len(abandoned),
+            )
+            if not fresh:
+                break
+            retransmissions.extend(fresh)
+            all_txs = sorted(all_txs + fresh, key=lambda t: t.start_s)
+            result = sim.run_online(
+                all_txs, reconfigurations, fault_plan=fault_plan
+            )
+    res = ResilientResult(
         result=result, rounds=rounds, retransmissions=retransmissions
     )
+    metrics = _obs.METRICS
+    if metrics is not None:
+        depth = metrics.histogram(
+            "repro_retry_depth",
+            "attempts used per confirmed frame",
+            buckets=_RETRY_BUCKETS,
+        )
+        for attempts in res.frames().values():
+            depth.observe(max(tx.attempt for tx in attempts))
+        metrics.counter(
+            "repro_retransmissions_total",
+            "confirmed-uplink retransmissions sent",
+        ).inc(len(retransmissions))
+    return res

@@ -14,6 +14,9 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..gateway.gateway import Gateway, GatewayReception, Outcome
 from ..node.device import EndDevice
+from ..obs import runtime as _obs
+from ..obs.events import EventType
+from ..obs.profiling import span
 from ..phy.link import Position, noise_floor_dbm
 from ..types import Observation, Transmission
 from .topology import LinkBudget
@@ -147,10 +150,26 @@ class Simulator:
         result = SimulationResult(
             transmissions=list(transmissions), gateways=self.gateways
         )
-        for tx in transmissions:
-            result.receptions.setdefault(tx_key(tx), [])
-        for gw in self.gateways:
-            obs = self.observations_at(gw, transmissions)
-            for record in gw.receive(obs):
-                result.receptions[tx_key(record.transmission)].append(record)
+        rec = _obs.TRACE
+        run_index = rec.next_run_index() if rec is not None else 0
+        if rec is not None:
+            rec.emit(
+                EventType.SIM_RUN_START,
+                run=run_index,
+                txs=len(result.transmissions),
+                gateways=len(self.gateways),
+                online=False,
+            )
+        with span("sim.run"):
+            for tx in transmissions:
+                result.receptions.setdefault(tx_key(tx), [])
+            for gw in self.gateways:
+                with span("gateway"):
+                    obs = self.observations_at(gw, transmissions)
+                    for record in gw.receive(obs):
+                        result.receptions[tx_key(record.transmission)].append(
+                            record
+                        )
+        if rec is not None:
+            rec.emit(EventType.SIM_RUN_END, run=run_index)
         return result

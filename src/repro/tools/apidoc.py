@@ -29,6 +29,7 @@ PACKAGES = [
     "repro.core",
     "repro.analysis",
     "repro.experiments",
+    "repro.obs",
     "repro.tools",
 ]
 

@@ -1,14 +1,19 @@
-"""Command-line interface: list, run, and render paper experiments.
+"""Command-line interface: list, run, render, and trace paper experiments.
 
 Usage::
 
     python -m repro.tools list
     python -m repro.tools run fig12a --seed 3 --json out.json
+    python -m repro.tools -v run chaos --trace chaos.jsonl --metrics chaos.prom
     python -m repro.tools render fig2a
+    python -m repro.tools trace summarize chaos.jsonl
+    python -m repro.tools trace render chaos.jsonl --bucket-s 2
 
 ``run`` executes an experiment driver and prints (or saves) its series
-as JSON; ``render`` additionally draws the headline series as an ASCII
-chart.
+as JSON — with ``--trace`` / ``--metrics`` the run executes inside an
+observability session and exports the JSONL trace / Prometheus
+snapshot.  ``render`` draws the headline series as an ASCII chart.
+``trace`` inspects a previously written JSONL trace.
 """
 
 from __future__ import annotations
@@ -20,6 +25,10 @@ import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
 from .. import experiments
+from ..obs import observe, setup_logging
+from ..obs.manifest import Stopwatch, build_manifest
+from ..obs.recorder import load_trace
+from ..obs.timeline import filter_events, render_occupancy, summarize_trace
 from .ascii_chart import bar_chart, line_chart
 
 __all__ = ["main", "EXPERIMENTS"]
@@ -131,11 +140,93 @@ def _render(name: str, result) -> str:
     return "(no renderer for this experiment; use `run` for raw JSON)"
 
 
+def _run_observed(args, fast: bool):
+    """Execute one driver, optionally inside an observability session.
+
+    Returns ``(result, manifest)`` — the manifest always describes the
+    run; when ``--trace`` / ``--metrics`` were requested the artifacts
+    are written before returning (write notices go to stderr so stdout
+    stays parseable JSON).
+    """
+    watch = Stopwatch()
+    manifest = build_manifest(
+        experiment=args.name,
+        seed=args.seed,
+        config={"seed": args.seed, "fast": fast},
+        extra={"fast": fast},
+    )
+    if not (args.trace_path or args.metrics_path):
+        result = _call_driver(args.name, args.seed, fast)
+        manifest["wall_time_s"] = watch.elapsed_s()
+        return result, manifest
+    with observe(
+        trace=bool(args.trace_path),
+        metrics=bool(args.metrics_path),
+        spans=False,
+        manifest=manifest,
+    ) as session:
+        result = _call_driver(args.name, args.seed, fast)
+    manifest["wall_time_s"] = watch.elapsed_s()
+    if session.recorder is not None:
+        session.recorder.manifest["wall_time_s"] = manifest["wall_time_s"]
+        session.recorder.write_jsonl(args.trace_path)
+        print(
+            f"wrote {args.trace_path} ({len(session.recorder)} events)",
+            file=sys.stderr,
+        )
+    if session.metrics is not None:
+        session.metrics.write_prometheus(args.metrics_path)
+        print(f"wrote {args.metrics_path}", file=sys.stderr)
+    return result, manifest
+
+
+def _trace_command(args) -> int:
+    events = load_trace(args.path)
+    if args.trace_command == "summarize":
+        print(json.dumps(summarize_trace(events), indent=2, default=str))
+        return 0
+    if args.trace_command == "filter":
+        selected = filter_events(
+            events,
+            etype=args.etype,
+            gateway=args.gateway,
+            node=args.node,
+            network=args.network,
+        )
+        shown = selected if args.limit is None else selected[: args.limit]
+        for ev in shown:
+            print(json.dumps(ev, separators=(",", ":")))
+        if len(shown) < len(selected):
+            print(
+                f"... {len(selected) - len(shown)} more "
+                f"(of {len(selected)} matching)",
+                file=sys.stderr,
+            )
+        return 0
+    if args.trace_command == "render":
+        print(render_occupancy(events, bucket_s=args.bucket_s))
+        return 0
+    return 2
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
         prog="repro.tools",
         description="Run and render the AlphaWAN paper reproductions.",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="more logging (-v info, -vv debug)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="errors only",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -150,12 +241,46 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="use the full (slow) solver settings where applicable",
     )
+    run_p.add_argument(
+        "--trace",
+        dest="trace_path",
+        default=None,
+        help="record a structured event trace to this JSONL file",
+    )
+    run_p.add_argument(
+        "--metrics",
+        dest="metrics_path",
+        default=None,
+        help="write a Prometheus-text metrics snapshot to this file",
+    )
 
     render_p = sub.add_parser("render", help="run and draw an ASCII chart")
     render_p.add_argument("name", choices=sorted(EXPERIMENTS))
     render_p.add_argument("--seed", type=int, default=0)
 
+    trace_p = sub.add_parser("trace", help="inspect a JSONL trace file")
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+    sum_p = trace_sub.add_parser(
+        "summarize", help="aggregate view: events, packets, outcomes"
+    )
+    sum_p.add_argument("path")
+    filt_p = trace_sub.add_parser(
+        "filter", help="select events by type / gateway / node / network"
+    )
+    filt_p.add_argument("path")
+    filt_p.add_argument("--type", dest="etype", default=None)
+    filt_p.add_argument("--gateway", type=int, default=None)
+    filt_p.add_argument("--node", type=int, default=None)
+    filt_p.add_argument("--network", type=int, default=None)
+    filt_p.add_argument("--limit", type=int, default=None)
+    rend_p = trace_sub.add_parser(
+        "render", help="ASCII decoder-occupancy timeline"
+    )
+    rend_p.add_argument("path")
+    rend_p.add_argument("--bucket-s", dest="bucket_s", type=float, default=1.0)
+
     args = parser.parse_args(argv)
+    setup_logging(-1 if args.quiet else args.verbose)
 
     if args.command == "list":
         width = max(len(n) for n in EXPERIMENTS)
@@ -163,10 +288,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{name:<{width}}  {EXPERIMENTS[name][1]}")
         return 0
 
-    fast = None
     if args.command == "run":
         fast = not args.full
-        result = _call_driver(args.name, args.seed, fast)
+        result, manifest = _run_observed(args, fast)
+        if isinstance(result, dict):
+            result = dict(result)
+            result["manifest"] = manifest
         payload = json.dumps(result, indent=2, default=str)
         if args.json_path:
             with open(args.json_path, "w") as fh:
@@ -180,6 +307,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         result = _call_driver(args.name, args.seed, True)
         print(_render(args.name, result))
         return 0
+
+    if args.command == "trace":
+        return _trace_command(args)
 
     return 2
 

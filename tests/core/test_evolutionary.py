@@ -105,3 +105,59 @@ class TestEvolve:
         )
         for gene, (lo, hi) in zip(result.best_genome, bounds):
             assert lo <= gene <= hi
+
+
+class TestTelemetry:
+    """Per-generation telemetry riding on GAResult (backward-compatible)."""
+
+    def _run(self, **overrides):
+        cfg = dict(population=10, generations=5, seed=0, patience=0)
+        cfg.update(overrides)
+        return evolve([(0, 10)] * 4, sphere_fitness, GAConfig(**cfg))
+
+    def test_per_generation_lists_align(self):
+        result = self._run()
+        # Entry 0 covers the initial population; one entry per generation.
+        assert len(result.gen_wall_s) == result.generations_run + 1
+        assert len(result.gen_evaluations) == result.generations_run + 1
+        assert all(w >= 0.0 for w in result.gen_wall_s)
+
+    def test_evaluation_counts(self):
+        result = self._run(population=10, generations=3)
+        assert result.gen_evaluations == [10, 10, 10, 10]
+        assert result.evaluations == 40
+
+    def test_backward_compatible_defaults(self):
+        from repro.core.evolutionary import GAResult
+
+        legacy = GAResult(best_genome=[1], best_fitness=0.0, generations_run=2)
+        assert legacy.gen_wall_s == []
+        assert legacy.gen_evaluations == []
+        assert legacy.evaluations == 0
+
+    def test_telemetry_does_not_change_search(self):
+        # Same seed, same result — telemetry must not consume RNG draws.
+        a = self._run(seed=3)
+        b = self._run(seed=3)
+        assert a.best_genome == b.best_genome
+        assert a.history == b.history
+
+    def test_ga_events_emitted_when_traced(self):
+        from repro.obs import observe
+
+        with observe(metrics=False, spans=False) as session:
+            result = self._run(generations=2)
+        counts = session.event_counts()
+        assert counts["ga.generation"] == result.generations_run + 1
+        assert counts["ga.done"] == 1
+        gen_events = [
+            e for e in session.recorder.events if e.etype == "ga.generation"
+        ]
+        assert [e.fields["gen"] for e in gen_events] == list(
+            range(result.generations_run + 1)
+        )
+        for e in gen_events:
+            assert e.fields["best"] >= e.fields["mean"]
+            # Wall time rides in a strippable field.
+            assert "gen_wall_s" in e.fields
+            assert "gen_wall_s" not in e.to_dict()

@@ -1,0 +1,73 @@
+"""Tests for run manifests."""
+
+import time
+
+from repro.obs.manifest import (
+    Stopwatch,
+    build_manifest,
+    config_digest,
+    git_revision,
+    scrub_wall_fields,
+)
+
+
+class TestConfigDigest:
+    def test_stable_across_key_order(self):
+        assert config_digest({"a": 1, "b": 2}) == config_digest({"b": 2, "a": 1})
+
+    def test_sensitive_to_values(self):
+        assert config_digest({"a": 1}) != config_digest({"a": 2})
+
+    def test_short_hex(self):
+        digest = config_digest([1, 2, 3])
+        assert len(digest) == 16
+        int(digest, 16)  # valid hex
+
+
+class TestBuildManifest:
+    def test_keys(self):
+        m = build_manifest(
+            experiment="chaos",
+            seed=7,
+            config={"seed": 7},
+            extra={"fast": True},
+        )
+        assert m["experiment"] == "chaos"
+        assert m["seed"] == 7
+        assert m["config_digest"] == config_digest({"seed": 7})
+        assert m["fast"] is True
+        assert isinstance(m["git_rev"], str)
+        assert isinstance(m["python"], str)
+        assert "started_at" in m and "wall_time_s" in m
+
+    def test_scrub_wall_fields(self):
+        m = build_manifest(experiment="x", wall_time_s=1.5)
+        scrubbed = scrub_wall_fields(m)
+        assert scrubbed["started_at"] is None
+        assert scrubbed["wall_time_s"] is None
+        # Original untouched; deterministic keys preserved.
+        assert m["wall_time_s"] == 1.5
+        assert scrubbed["experiment"] == "x"
+
+    def test_same_seed_manifests_equal_after_scrub(self):
+        a = build_manifest(experiment="x", seed=1, config={"s": 1})
+        b = build_manifest(experiment="x", seed=1, config={"s": 1})
+        assert scrub_wall_fields(a) == scrub_wall_fields(b)
+
+
+class TestGitRevision:
+    def test_returns_string(self):
+        rev = git_revision()
+        assert isinstance(rev, str)
+        assert rev  # "unknown" or a sha, never empty
+
+    def test_unknown_outside_checkout(self, tmp_path):
+        assert git_revision(str(tmp_path)) == "unknown"
+
+
+class TestStopwatch:
+    def test_elapsed_monotone(self):
+        watch = Stopwatch()
+        first = watch.elapsed_s()
+        time.sleep(0.01)
+        assert watch.elapsed_s() > first >= 0.0

@@ -1,0 +1,92 @@
+"""Tests for profiling spans and the flame summary."""
+
+import threading
+
+from repro.obs import runtime
+from repro.obs.profiling import SpanAggregator, render_flame, span
+
+
+class TestSpanDisabled:
+    def test_span_is_noop_without_aggregator(self):
+        assert runtime.SPANS is None
+        with span("anything"):
+            pass  # must not raise or record anywhere
+
+
+class TestSpanAggregation:
+    def _with_aggregator(self):
+        agg = SpanAggregator()
+        runtime.activate(spans=agg)
+        return agg
+
+    def teardown_method(self):
+        runtime.deactivate()
+
+    def test_nested_paths(self):
+        agg = self._with_aggregator()
+        with span("outer"):
+            with span("inner"):
+                pass
+            with span("inner"):
+                pass
+        summary = agg.flame_summary()
+        assert set(summary) == {"outer", "outer/inner"}
+        assert summary["outer"]["count"] == 1
+        assert summary["outer/inner"]["count"] == 2
+
+    def test_stat_fields(self):
+        agg = self._with_aggregator()
+        with span("s"):
+            pass
+        stat = agg.flame_summary()["s"]
+        assert stat["count"] == 1
+        assert stat["total_s"] >= 0.0
+        assert stat["min_s"] <= stat["max_s"]
+        assert stat["mean_s"] == stat["total_s"]
+
+    def test_exception_still_pops(self):
+        agg = self._with_aggregator()
+        try:
+            with span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert agg.flame_summary()["boom"]["count"] == 1
+        # The stack unwound: a sibling span is not nested under "boom".
+        with span("after"):
+            pass
+        assert "after" in agg.flame_summary()
+
+    def test_threads_keep_separate_stacks(self):
+        agg = self._with_aggregator()
+
+        def worker():
+            with span("w"):
+                with span("inner"):
+                    pass
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        summary = agg.flame_summary()
+        assert summary["w"]["count"] == 4
+        assert summary["w/inner"]["count"] == 4
+
+
+class TestRenderFlame:
+    def test_empty(self):
+        assert render_flame({}) == "(no spans recorded)"
+
+    def test_rows_and_indentation(self):
+        summary = {
+            "run": {"count": 1, "total_s": 1.0, "min_s": 1.0, "max_s": 1.0, "mean_s": 1.0},
+            "run/gw": {"count": 3, "total_s": 0.6, "min_s": 0.1, "max_s": 0.3, "mean_s": 0.2},
+        }
+        out = render_flame(summary)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("run")
+        assert lines[1].startswith("  gw")
+        assert "x3" in lines[1]

@@ -1,0 +1,66 @@
+"""Dedicated coverage for the ASCII chart renderer."""
+
+import pytest
+
+from repro.tools.ascii_chart import bar_chart, line_chart
+
+
+class TestBarChart:
+    def test_scales_to_width(self):
+        out = bar_chart(["a", "b"], [5.0, 10.0], width=10)
+        rows = out.splitlines()
+        assert rows[0].count("#") == 5
+        assert rows[1].count("#") == 10
+
+    def test_labels_right_aligned(self):
+        out = bar_chart(["x", "long"], [1, 1])
+        rows = out.splitlines()
+        assert rows[0].startswith("   x |")
+        assert rows[1].startswith("long |")
+
+    def test_unit_suffix(self):
+        out = bar_chart(["a"], [3], unit=" users")
+        assert out.endswith("3 users")
+
+    def test_zero_values(self):
+        out = bar_chart(["a", "b"], [0.0, 0.0])
+        assert "#" not in out
+
+    def test_empty_and_misaligned(self):
+        assert bar_chart([], []) == "(no data)"
+        with pytest.raises(ValueError):
+            bar_chart(["a", "b"], [1.0])
+
+
+class TestLineChart:
+    def test_axis_labels_show_extents(self):
+        out = line_chart([0, 10], {"s": [2, 8]})
+        assert "8" in out and "0" in out and "10" in out
+
+    def test_distinct_marks_per_series(self):
+        out = line_chart([0, 1], {"a": [0, 1], "b": [1, 0], "c": [0, 0]})
+        legend = out.splitlines()[-1]
+        assert "o a" in legend and "x b" in legend and "+ c" in legend
+
+    def test_grid_dimensions(self):
+        out = line_chart([0, 1], {"s": [0, 1]}, width=30, height=5)
+        lines = out.splitlines()
+        # top rule + 5 grid rows + bottom rule + x-axis + legend
+        assert len(lines) == 9
+        grid_rows = lines[1:-3]
+        assert all(len(r) >= 12 + 1 for r in grid_rows)
+
+    def test_single_point(self):
+        out = line_chart([5], {"s": [3]})
+        assert "o s" in out
+
+    def test_flat_series_does_not_crash(self):
+        out = line_chart([0, 1, 2], {"flat": [4, 4, 4]})
+        assert "flat" in out
+
+    def test_empty_series(self):
+        assert line_chart([0, 1], {}) == "(no data)"
+
+    def test_misaligned_raises(self):
+        with pytest.raises(ValueError):
+            line_chart([0, 1, 2], {"s": [1]})

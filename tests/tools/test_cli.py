@@ -84,3 +84,65 @@ class TestCli:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "fig99"])
+
+
+class TestCliObservability:
+    def test_run_attaches_manifest(self, capsys):
+        assert main(["run", "fig18"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        manifest = payload["manifest"]
+        assert manifest["experiment"] == "fig18"
+        assert manifest["seed"] == 0
+        assert manifest["fast"] is True
+        assert manifest["wall_time_s"] is not None
+
+    def test_run_with_trace_and_metrics(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        prom = tmp_path / "metrics.prom"
+        assert main(
+            ["run", "fig2a", "--trace", str(trace), "--metrics", str(prom)]
+        ) == 0
+        # stdout stays parseable JSON; write notices go to stderr.
+        captured = capsys.readouterr()
+        json.loads(captured.out)
+        assert "wrote" in captured.err
+        lines = trace.read_text().splitlines()
+        assert json.loads(lines[0])["type"] == "manifest"
+        assert json.loads(lines[0])["wall_time_s"] is not None
+        assert prom.read_text()  # snapshot written (may be sparse)
+
+    def test_trace_summarize(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["run", "fig2a", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace)]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["sim_runs"] >= 1
+        assert summary["events"] > 0
+        assert sum(summary["outcome_counts"].values()) > 0
+
+    def test_trace_filter(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["run", "fig2a", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(
+            ["trace", "filter", str(trace), "--type", "decoder.grant",
+             "--limit", "5"]
+        ) == 0
+        out_lines = capsys.readouterr().out.strip().splitlines()
+        assert 0 < len(out_lines) <= 5
+        for line in out_lines:
+            assert json.loads(line)["type"] == "decoder.grant"
+
+    def test_trace_render(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["run", "fig2a", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "render", str(trace), "--bucket-s", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "decoder-pool occupancy" in out
+
+    def test_verbosity_flags_accepted(self, capsys):
+        assert main(["-v", "list"]) == 0
+        assert main(["-q", "list"]) == 0
+        assert main(["-vv", "list"]) == 0
