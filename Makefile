@@ -1,12 +1,20 @@
 # Convenience targets for the AlphaWAN reproduction.
 
-.PHONY: install test bench docs examples all
+.PHONY: install test lint typecheck bench docs examples all
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	pytest tests/
+
+lint:
+	PYTHONPATH=src python -m repro.tools lint src tests --baseline lint-baseline.json
+
+typecheck:
+	@python -c "import mypy" 2>/dev/null \
+		&& python -m mypy \
+		|| echo "mypy not installed; skipping typecheck (CI runs it -- pip install mypy)"
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -1,0 +1,43 @@
+"""Benchmark: determinism & invariant linter over the whole tree.
+
+The lint gate runs on every CI push, so its wall time is tracked in the
+same ``BENCH_*.json`` trajectory as the simulation drivers.  The budget
+is deliberately loose (10 s for ~170 files) — the point is catching a
+rule whose complexity quietly goes quadratic, not micro-optimising.
+"""
+
+import os
+
+import bench_utils
+from bench_utils import report, run_once
+
+from repro.lint import lint_paths
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+LINT_BUDGET_S = 10.0
+
+
+def test_lint_full_tree(benchmark):
+    result = run_once(
+        benchmark, lint_paths, paths=["src", "tests"], root=REPO_ROOT
+    )
+    duration_s = bench_utils._last_run["duration_s"]
+    report(
+        "Lint: full-tree static analysis (src + tests, all rules)",
+        {
+            "files_checked": result.files_checked,
+            "findings": len(result.findings),
+            "suppressed_inline": result.suppressed,
+            "parse_errors": len(result.parse_errors),
+        },
+    )
+    assert result.parse_errors == []
+    assert result.files_checked > 100
+    # The shipped tree is clean (tests/lint/test_repo_clean.py is the
+    # strict gate; this guards the benchmark's own fixture validity).
+    assert result.findings == []
+    assert duration_s < LINT_BUDGET_S, (
+        f"lint took {duration_s:.2f} s; budget is {LINT_BUDGET_S} s — "
+        "a rule likely regressed to super-linear behaviour"
+    )

@@ -22,6 +22,8 @@ Package layout:
 * :mod:`repro.experiments` — drivers regenerating every paper figure.
 """
 
+from __future__ import annotations
+
 from .types import Observation, Transmission, time_overlap_s
 
 __version__ = "1.0.0"

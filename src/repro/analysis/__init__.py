@@ -1,5 +1,7 @@
 """Analytical companions: Erlang-B decoder blocking and capacity bounds."""
 
+from __future__ import annotations
+
 from .bounds import (
     decoder_bound,
     effective_capacity_bound,

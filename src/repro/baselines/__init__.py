@@ -1,6 +1,8 @@
 """Baselines the paper evaluates against: standard LoRaWAN, Random CP,
 standard ADR, LMAC (collision avoidance), CIC (collision resolution)."""
 
+from __future__ import annotations
+
 from .adr_baseline import apply_standard_adr, dr_distribution, gateways_per_node
 from .cic import enable_cic
 from .lmac import lmac_schedule

@@ -12,6 +12,8 @@ The paper's primary contribution.  Two primitives:
   over TCP (:class:`MasterServer` / :class:`MasterClient`).
 """
 
+from __future__ import annotations
+
 from .agents import (
     BACKHAUL_GBPS,
     GatewayAgent,

@@ -100,7 +100,7 @@ class MasterClient:
     def __enter__(self) -> "MasterClient":
         return self.connect()
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # -- requests ---------------------------------------------------------
@@ -127,7 +127,11 @@ class MasterClient:
         except _TRANSIENT_ERRORS:
             self.close()
             raise
-        self.last_rtt_s = time.perf_counter() - t0
+        # Bind the reading locally: ``last_rtt_s`` is Optional (None
+        # until the first round-trip) and must not leak into telemetry
+        # sinks that require a float.
+        rtt_wall_s = time.perf_counter() - t0
+        self.last_rtt_s = rtt_wall_s
         if response is None:
             self.close()
             raise ProtocolError("master closed the connection")
@@ -136,12 +140,12 @@ class MasterClient:
             metrics.histogram(
                 "repro_master_rtt_seconds",
                 "Master round-trip latency",
-            ).observe(self.last_rtt_s)
+            ).observe(rtt_wall_s)
         if rec is not None:
             rec.emit(
                 EventType.MASTER_RESPONSE,
                 req=message.get("type"),
-                rtt_wall_s=self.last_rtt_s,
+                rtt_wall_s=rtt_wall_s,
             )
         if response.get("type") == "error":
             raise MasterRequestError(response.get("message", "unknown error"))

@@ -63,9 +63,12 @@ class MasterServer:
     ) -> None:
         self.master = master
         self.fault_plan = fault_plan
+        # Real-TCP-server wall clock: the default clock drives fault
+        # windows for live servers only; deterministic runs inject a
+        # virtual clock instead.
         if clock is None:
-            epoch = time.monotonic()
-            clock = lambda: time.monotonic() - epoch  # noqa: E731
+            epoch = time.monotonic()  # repro: noqa[DET002]
+            clock = lambda: time.monotonic() - epoch  # noqa: E731  # repro: noqa[DET002]
         self.clock = clock
         self.dropped_requests = 0
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -118,7 +121,7 @@ class MasterServer:
     def __enter__(self) -> "MasterServer":
         return self.start()
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # -- request handling --------------------------------------------------

@@ -6,6 +6,8 @@ figure through these drivers, and EXPERIMENTS.md records the outputs
 against the paper's numbers.
 """
 
+from __future__ import annotations
+
 from .ablation import run_ablation
 from .chaos import run_chaos
 from .disruption import run_disruption

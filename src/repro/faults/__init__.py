@@ -13,6 +13,8 @@ The package has three pieces:
   channel assignment served in degraded mode when the Master is down.
 """
 
+from __future__ import annotations
+
 from .cache import AssignmentCache
 from .plan import (
     BackhaulFault,

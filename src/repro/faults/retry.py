@@ -38,7 +38,7 @@ class RetryPolicy:
         base_delay_s: Backoff before the first retry.
         multiplier: Exponential growth factor per retry.
         max_delay_s: Ceiling on a single backoff.
-        jitter: Fraction of each backoff randomized uniformly (0 = pure
+        jitter_frac: Fraction of each backoff randomized uniformly (0 = pure
             exponential, 1 = "full jitter").
         deadline_s: Hard bound on the whole operation, sleeps included;
             once exceeded no further attempt is made.
@@ -48,7 +48,7 @@ class RetryPolicy:
     base_delay_s: float = 0.05
     multiplier: float = 2.0
     max_delay_s: float = 2.0
-    jitter: float = 0.5
+    jitter_frac: float = 0.5
     deadline_s: float = 30.0
 
     def __post_init__(self) -> None:
@@ -58,7 +58,7 @@ class RetryPolicy:
             raise ValueError("delays must be non-negative")
         if self.multiplier < 1.0:
             raise ValueError("multiplier must be >= 1")
-        if not 0.0 <= self.jitter <= 1.0:
+        if not 0.0 <= self.jitter_frac <= 1.0:
             raise ValueError("jitter must be in [0, 1]")
         if self.deadline_s <= 0:
             raise ValueError("deadline must be positive")
@@ -74,7 +74,7 @@ class RetryPolicy:
         raw = min(
             self.max_delay_s, self.base_delay_s * self.multiplier ** (attempt - 1)
         )
-        return raw * (1.0 - self.jitter) + rng.uniform(0.0, raw * self.jitter)
+        return raw * (1.0 - self.jitter_frac) + rng.uniform(0.0, raw * self.jitter_frac)
 
 
 @dataclass(frozen=True)

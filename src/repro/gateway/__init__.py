@@ -1,5 +1,7 @@
 """COTS gateway model: detection, FCFS dispatch, finite decoder pool."""
 
+from __future__ import annotations
+
 from .decoder import DecoderLease, DecoderPool
 from .detector import Detection, detect, match_rx_channel
 from .dispatcher import DispatchResult, FcfsDispatcher

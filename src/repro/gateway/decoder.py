@@ -59,7 +59,7 @@ class DecoderPool:
         self.busy_time_s = 0.0
         # Gateway this pool belongs to, for trace attribution (set by
         # the owning Gateway; -1 for free-standing pools in tests).
-        self.trace_gateway_id = -1
+        self.trace_gateway_id: int = -1
 
     def _reclaim(self, now_s: float) -> None:
         """Release every decoder whose packet has finished by ``now_s``."""

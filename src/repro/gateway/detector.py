@@ -16,7 +16,7 @@ from ..phy.channels import Channel, overlap_ratio
 from ..phy.interference import DETECTION_MIN_OVERLAP
 from ..phy.link import noise_floor_dbm
 from ..phy.lora import SNR_THRESHOLD_DB
-from ..types import Observation
+from ..types import Observation, Transmission
 
 __all__ = ["Detection", "match_rx_channel", "detect"]
 
@@ -31,7 +31,7 @@ class Detection:
     snr_db: float
 
     @property
-    def tx(self):
+    def tx(self) -> Transmission:
         """The underlying transmission."""
         return self.observation.transmission
 

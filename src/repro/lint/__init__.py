@@ -1,0 +1,63 @@
+"""Determinism & invariant linter for the AlphaWAN reproduction.
+
+A zero-dependency, AST-based static-analysis pass that machine-checks
+the invariants the repo's byte-for-byte reproducibility claims rest on:
+
+=========  ==============================================================
+Rule id    Invariant
+=========  ==============================================================
+DET001     All RNG flows from an explicit seed expression — no
+           process-global ``random.*``/``numpy.random.*`` streams, no
+           unseeded or literal-seeded ``random.Random``.
+DET002     Wall clock (``time.time``/``perf_counter``/``datetime.now``)
+           confined to an allowlist of telemetry sites whose readings
+           land only in ``*_wall_s``/``*_rtt_s`` fields.
+DET003     No ``==``/``!=`` between float simulation times — use
+           ``math.isclose`` or integer ticks.
+OBS001     Every ``repro.obs`` hook-slot use is None-guarded, keeping
+           disabled-observability overhead <5 %.
+API001     Public functions and dataclasses in ``src/repro`` carry
+           complete type annotations.
+UNIT001    Numeric dataclass fields naming physical quantities carry a
+           unit suffix (``_s``, ``_hz``, ``_dbm``, ``_db``, ``_m`` ...).
+=========  ==============================================================
+
+Entry points: ``python -m repro.tools lint`` (CLI), ``make lint``, the
+pytest gate ``tests/lint/test_repo_clean.py``, and the library API
+:func:`lint_paths`.  Inline suppression: ``# repro: noqa[RULE-ID]``;
+legacy debt lives in the tracked baseline (``lint-baseline.json``).
+DESIGN.md section 9 is the human-readable contract.
+"""
+
+from __future__ import annotations
+
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .engine import (
+    LintContext,
+    LintReport,
+    Rule,
+    RULES,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    rule,
+)
+from .findings import Finding, render_json, render_text
+from . import rules as _rules  # noqa: F401  (populates the registry)
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "LintReport",
+    "Rule",
+    "RULES",
+    "apply_baseline",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "rule",
+    "write_baseline",
+]

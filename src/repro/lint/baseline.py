@@ -1,0 +1,96 @@
+"""Finding baselines: grandfather known findings without hiding new ones.
+
+A baseline is a JSON file of finding fingerprints
+(:meth:`repro.lint.findings.Finding.fingerprint`).  Applying it removes
+exactly the grandfathered findings from a report and surfaces *stale*
+entries — fingerprints whose finding no longer occurs — so the file
+shrinks monotonically as debt is paid down.  The shipped repo baseline
+(``lint-baseline.json``) is empty: the tree lints clean, and the gate
+test keeps it that way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from .findings import Finding
+
+__all__ = [
+    "BASELINE_VERSION",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str) -> Set[str]:
+    """Fingerprints grandfathered by the baseline file at ``path``.
+
+    A missing file is an empty baseline; a malformed one raises
+    ``ValueError`` so CI never silently ignores a corrupt baseline.
+    """
+    if not os.path.exists(path):
+        return set()
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or "findings" not in data:
+        raise ValueError(f"{path}: not a lint baseline file")
+    out: Set[str] = set()
+    for entry in data["findings"]:
+        if not isinstance(entry, dict) or "fingerprint" not in entry:
+            raise ValueError(f"{path}: baseline entry without fingerprint")
+        out.add(str(entry["fingerprint"]))
+    return out
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> int:
+    """Write ``findings`` as the new baseline; returns the entry count.
+
+    Entries keep human-readable context (rule, path, message) next to
+    the matching fingerprint so reviews of baseline changes are
+    self-describing.
+    """
+    entries: List[Dict[str, object]] = []
+    seen: Set[str] = set()
+    for finding in sorted(findings):
+        fp = finding.fingerprint()
+        if fp in seen:
+            continue
+        seen.add(fp)
+        entries.append(
+            {
+                "fingerprint": fp,
+                "rule": finding.rule_id,
+                "path": finding.path,
+                "message": finding.message,
+            }
+        )
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return len(entries)
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Set[str]
+) -> Tuple[List[Finding], int, Set[str]]:
+    """Split findings against a baseline.
+
+    Returns ``(new_findings, grandfathered_count, stale_fingerprints)``
+    where stale fingerprints are baseline entries that matched nothing —
+    debt that has been paid and should be dropped from the file.
+    """
+    fresh: List[Finding] = []
+    matched: Set[str] = set()
+    for finding in findings:
+        fp = finding.fingerprint()
+        if fp in baseline:
+            matched.add(fp)
+        else:
+            fresh.append(finding)
+    return fresh, len(findings) - len(fresh), baseline - matched

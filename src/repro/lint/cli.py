@@ -1,0 +1,108 @@
+"""``python -m repro.tools lint`` — the linter's command-line front end.
+
+Exit codes: 0 clean (after baseline), 1 findings or stale baseline
+entries, 2 parse/usage errors.  ``--format json`` emits a machine-
+readable report (uploaded as a CI artifact); ``--write-baseline``
+regenerates the grandfather file from the current findings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence, TextIO
+
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .engine import RULES, lint_paths
+from .findings import render_json, render_text
+
+__all__ = ["add_lint_arguments", "run_lint"]
+
+DEFAULT_PATHS = ("src", "tests")
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the lint subcommand's arguments onto ``parser``."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="finding output format",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="subtract grandfathered findings recorded in this file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="PATH",
+        help="write the current findings as the new baseline and exit",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rule ids and exit",
+    )
+
+
+def run_lint(
+    args: argparse.Namespace, stdout: Optional[TextIO] = None
+) -> int:
+    """Execute the lint subcommand; returns the process exit code."""
+    out = stdout if stdout is not None else sys.stdout
+    if args.list_rules:
+        width = max(len(rid) for rid in RULES)
+        for rid, rule_ in sorted(RULES.items()):
+            print(f"{rid:<{width}}  {rule_.summary}", file=out)
+        return 0
+    report = lint_paths(args.paths)
+    for error in report.parse_errors:
+        print(f"parse error: {error}", file=sys.stderr)
+    if args.write_baseline:
+        count = write_baseline(args.write_baseline, report.findings)
+        print(
+            f"wrote {args.write_baseline} ({count} grandfathered findings)",
+            file=sys.stderr,
+        )
+        return 0
+    findings = report.findings
+    stale: List[str] = []
+    grandfathered = 0
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except ValueError as exc:
+            print(f"baseline error: {exc}", file=sys.stderr)
+            return 2
+        findings, grandfathered, stale_set = apply_baseline(
+            findings, baseline
+        )
+        stale = sorted(stale_set)
+    if args.format == "json":
+        print(render_json(findings), file=out)
+    elif findings:
+        print(render_text(findings), file=out)
+    for fp in stale:
+        print(
+            f"stale baseline entry (finding fixed — remove it): {fp}",
+            file=sys.stderr,
+        )
+    summary = (
+        f"{len(findings)} finding(s) in {report.files_checked} file(s)"
+        f" [{report.suppressed} suppressed inline"
+        + (f", {grandfathered} baselined" if args.baseline else "")
+        + "]"
+    )
+    print(summary, file=sys.stderr)
+    if report.parse_errors:
+        return 2
+    return 1 if findings or stale else 0

@@ -1,0 +1,75 @@
+"""Finding and report types for the determinism & invariant linter.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+:meth:`Finding.fingerprint` is the stable identity used by the baseline
+mechanism (:mod:`repro.lint.baseline`): rule id, repo-relative path and
+a short hash of the message — deliberately *excluding* the line number,
+so unrelated edits above a grandfathered finding do not churn the
+baseline file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List
+
+__all__ = ["Finding", "render_text", "render_json"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        path: Repo-relative POSIX path of the offending file.
+        line: 1-based line of the violation.
+        col: 0-based column of the violation.
+        rule_id: Identifier of the rule that fired (e.g. ``DET001``).
+        message: Human-readable description of the violation.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching (line-number free)."""
+        digest = hashlib.blake2b(
+            f"{self.rule_id}:{self.path}:{self.message}".encode("utf-8"),
+            digest_size=6,
+        ).hexdigest()
+        return f"{self.rule_id}:{self.path}:{digest}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe plain-dict form, including the fingerprint."""
+        out: Dict[str, object] = dict(asdict(self))
+        out["fingerprint"] = self.fingerprint()
+        return out
+
+
+def render_text(findings: Iterable[Finding]) -> str:
+    """``path:line:col: RULE message`` lines, one per finding."""
+    lines: List[str] = []
+    for f in sorted(findings):
+        lines.append(f"{f.path}:{f.line}:{f.col}: {f.rule_id} {f.message}")
+    return "\n".join(lines)
+
+
+def render_json(findings: Iterable[Finding]) -> str:
+    """A JSON document: finding objects plus a per-rule summary."""
+    ordered = sorted(findings)
+    by_rule: Dict[str, int] = {}
+    for f in ordered:
+        by_rule[f.rule_id] = by_rule.get(f.rule_id, 0) + 1
+    return json.dumps(
+        {
+            "findings": [f.to_dict() for f in ordered],
+            "total": len(ordered),
+            "by_rule": dict(sorted(by_rule.items())),
+        },
+        indent=2,
+    )

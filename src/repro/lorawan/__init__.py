@@ -5,6 +5,8 @@ LoRaWAN 1.0.x constructs (``NewChannelReq``, ``LinkADRReq``), which is
 what makes the system deployable on unmodified COTS nodes.
 """
 
+from __future__ import annotations
+
 from .frames import DataFrame, FrameError, MType, make_dev_addr, nwk_id_of
 from .join import JoinAccept, JoinRequest, perform_join
 from .keys import MIC_LEN, SessionKeys, compute_mic, derive_session_keys

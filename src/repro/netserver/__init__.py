@@ -1,5 +1,7 @@
 """ChirpStack-like network server: dedup, logging, config distribution."""
 
+from __future__ import annotations
+
 from .records import LOG_FIELDS, UplinkRecord, format_log_line
 from .server import NetworkServer
 

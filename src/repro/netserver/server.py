@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..faults.cache import AssignmentCache
 from ..faults.retry import MasterUnavailableError
@@ -26,6 +26,10 @@ from ..obs.events import EventType
 from ..phy.channels import Channel
 from ..phy.lora import DataRate
 from .records import UplinkRecord, format_log_line
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.master import Assignment
+    from ..core.master_client import MasterClient
 
 logger = logging.getLogger(__name__)
 
@@ -186,10 +190,10 @@ class NetworkServer:
 
     def sync_with_master(
         self,
-        master_client,
+        master_client: "MasterClient",
         operator: str,
         cache: Optional[AssignmentCache] = None,
-    ):
+    ) -> "Assignment":
         """Fetch this operator's channel assignment from the Master.
 
         On success the assignment is remembered (and stored into

@@ -1,5 +1,7 @@
 """End-device models: configuration, traffic generation, standard ADR."""
 
+from __future__ import annotations
+
 from .adr import ADR_MARGIN_DB, AdrDecision, POWER_STEPS_DBM, adr_decision
 from .device import EndDevice
 from .traffic import (

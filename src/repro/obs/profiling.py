@@ -118,7 +118,7 @@ class span:
             self._t0 = perf_counter()
         return self
 
-    def __exit__(self, *exc_info) -> bool:
+    def __exit__(self, *exc_info: object) -> bool:
         agg = self._agg
         if agg is not None:
             agg.pop(perf_counter() - self._t0)

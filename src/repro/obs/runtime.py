@@ -16,17 +16,26 @@ observability is disabled — the overhead budget for the default
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .metrics import MetricsRegistry
+    from .profiling import SpanAggregator
+    from .recorder import TraceRecorder
 
 __all__ = ["TRACE", "METRICS", "SPANS", "activate", "deactivate"]
 
 # The active observability session components (None = disabled).
-TRACE = None  # type: Optional["TraceRecorder"]  # noqa: F821
-METRICS = None  # type: Optional["MetricsRegistry"]  # noqa: F821
-SPANS = None  # type: Optional["SpanAggregator"]  # noqa: F821
+TRACE: Optional["TraceRecorder"] = None
+METRICS: Optional["MetricsRegistry"] = None
+SPANS: Optional["SpanAggregator"] = None
 
 
-def activate(trace=None, metrics=None, spans=None) -> None:
+def activate(
+    trace: Optional["TraceRecorder"] = None,
+    metrics: Optional["MetricsRegistry"] = None,
+    spans: Optional["SpanAggregator"] = None,
+) -> None:
     """Install session components into the module slots.
 
     Called by :func:`repro.obs.observe`; tests may call it directly.

@@ -4,6 +4,8 @@ Public surface of the PHY package; see the individual modules for the
 detailed models.  Everything here is deterministic under a seed.
 """
 
+from __future__ import annotations
+
 from .lora import (
     CodingRate,
     DataRate,

@@ -10,7 +10,7 @@ the object that AlphaWAN's planners optimize.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, Iterator, List, Sequence, Tuple
 
 __all__ = [
     "Channel",
@@ -161,7 +161,7 @@ class ChannelPlan:
     def __len__(self) -> int:
         return len(self.channels)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Channel]:
         return iter(self.channels)
 
     def __contains__(self, channel: Channel) -> bool:

@@ -13,6 +13,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from enum import IntEnum
+from typing import Any
 
 __all__ = [
     "SpreadingFactor",
@@ -115,7 +116,7 @@ class LoRaParams:
     crc: bool = True
 
     @classmethod
-    def from_dr(cls, dr: DataRate, **kwargs) -> "LoRaParams":
+    def from_dr(cls, dr: DataRate, **kwargs: Any) -> "LoRaParams":
         """Build parameters for a LoRaWAN data-rate index."""
         return cls(sf=DR_TO_SF[DataRate(dr)], **kwargs)
 

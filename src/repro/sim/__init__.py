@@ -1,5 +1,7 @@
 """Discrete-event network simulation over the gateway/node substrates."""
 
+from __future__ import annotations
+
 from .metrics import (
     CollisionIndex,
     LossBreakdown,

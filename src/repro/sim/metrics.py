@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from ..faults.plan import FaultPlan
 from ..gateway.gateway import Outcome
 from ..phy.channels import Channel, overlap_ratio
 from ..phy.interference import DETECTION_MIN_OVERLAP
@@ -329,7 +330,9 @@ def time_to_recover_s(
     return None
 
 
-def degraded_time_s(fault_plan, window_s: Optional[float] = None) -> float:
+def degraded_time_s(
+    fault_plan: FaultPlan, window_s: Optional[float] = None
+) -> float:
     """Total time any component of a fault plan is degraded.
 
     Overlapping windows (a gateway crash inside a Master outage) count

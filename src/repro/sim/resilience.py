@@ -21,7 +21,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..faults.plan import FaultPlan
+from ..faults.plan import FaultPlan, _stable_stream_seed
 from ..faults.retry import RetransmitPolicy
 from ..obs import runtime as _obs
 from ..obs.events import EventType
@@ -96,6 +96,7 @@ def run_with_retransmissions(
     policy: RetransmitPolicy = RetransmitPolicy(),
     window_s: Optional[float] = None,
     rng: Optional[random.Random] = None,
+    seed: int = 0,
 ) -> ResilientResult:
     """Simulate a window, re-sending failed confirmed uplinks.
 
@@ -109,19 +110,22 @@ def run_with_retransmissions(
             abandoned (device gives up at window end).  Defaults to the
             latest first-attempt end time.
         rng: Backoff jitter stream; defaults to the fault plan's
-            ``"retransmit"`` sub-stream (or seed 0 without a plan) so
-            the whole chaos run reproduces from one seed.
+            ``"retransmit"`` sub-stream — or, without a plan, a stream
+            derived from ``seed`` through the same stable hashing — so
+            chaos and non-chaos runs stay independently reproducible
+            from one scenario seed.
+        seed: Scenario seed for the fallback backoff stream when
+            neither ``rng`` nor ``fault_plan`` is given.
 
     Returns:
         A :class:`ResilientResult` whose ``result`` covers originals
         plus every retransmission actually sent.
     """
     if rng is None:
-        rng = (
-            fault_plan.rng("retransmit")
-            if fault_plan is not None
-            else random.Random(0)
-        )
+        if fault_plan is not None:
+            rng = fault_plan.rng("retransmit")
+        else:
+            rng = random.Random(_stable_stream_seed(seed, "retransmit"))
     all_txs: List[Transmission] = list(transmissions)
     if window_s is None:
         window_s = max((tx.end_s for tx in all_txs), default=0.0)

@@ -1,5 +1,7 @@
 """CLI tools: run and render the paper reproductions."""
 
+from __future__ import annotations
+
 from .ascii_chart import bar_chart, line_chart
 from .cli import EXPERIMENTS, main
 

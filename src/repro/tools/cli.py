@@ -8,12 +8,15 @@ Usage::
     python -m repro.tools render fig2a
     python -m repro.tools trace summarize chaos.jsonl
     python -m repro.tools trace render chaos.jsonl --bucket-s 2
+    python -m repro.tools lint src tests --format json
+    python -m repro.tools lint --baseline lint-baseline.json
 
 ``run`` executes an experiment driver and prints (or saves) its series
 as JSON — with ``--trace`` / ``--metrics`` the run executes inside an
 observability session and exports the JSONL trace / Prometheus
 snapshot.  ``render`` draws the headline series as an ASCII chart.
-``trace`` inspects a previously written JSONL trace.
+``trace`` inspects a previously written JSONL trace.  ``lint`` runs the
+determinism & invariant linter (:mod:`repro.lint`) over the tree.
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
 from .. import experiments
+from ..lint.cli import add_lint_arguments, run_lint
 from ..obs import observe, setup_logging
 from ..obs.manifest import Stopwatch, build_manifest
 from ..obs.recorder import load_trace
@@ -279,6 +283,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     rend_p.add_argument("path")
     rend_p.add_argument("--bucket-s", dest="bucket_s", type=float, default=1.0)
 
+    lint_p = sub.add_parser(
+        "lint", help="run the determinism & invariant linter"
+    )
+    add_lint_arguments(lint_p)
+
     args = parser.parse_args(argv)
     setup_logging(-1 if args.quiet else args.verbose)
 
@@ -310,6 +319,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "trace":
         return _trace_command(args)
+
+    if args.command == "lint":
+        return run_lint(args)
 
     return 2
 

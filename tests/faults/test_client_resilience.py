@@ -125,7 +125,7 @@ class TestRetry:
                     max_attempts=5,
                     base_delay_s=60.0,
                     max_delay_s=60.0,
-                    jitter=0.0,
+                    jitter_frac=0.0,
                     deadline_s=1.0,
                 ),
                 sleep=slept.append,

@@ -14,7 +14,7 @@ class TestRetryPolicy:
         with pytest.raises(ValueError):
             RetryPolicy(multiplier=0.5)
         with pytest.raises(ValueError):
-            RetryPolicy(jitter=1.5)
+            RetryPolicy(jitter_frac=1.5)
         with pytest.raises(ValueError):
             RetryPolicy(deadline_s=0.0)
 
@@ -26,7 +26,7 @@ class TestRetryPolicy:
 
     def test_backoff_grows_exponentially_without_jitter(self):
         policy = RetryPolicy(
-            base_delay_s=0.1, multiplier=2.0, jitter=0.0, max_delay_s=100.0
+            base_delay_s=0.1, multiplier=2.0, jitter_frac=0.0, max_delay_s=100.0
         )
         rng = random.Random(0)
         assert policy.backoff_s(1, rng) == pytest.approx(0.1)
@@ -35,12 +35,12 @@ class TestRetryPolicy:
 
     def test_backoff_capped(self):
         policy = RetryPolicy(
-            base_delay_s=1.0, multiplier=10.0, jitter=0.0, max_delay_s=2.0
+            base_delay_s=1.0, multiplier=10.0, jitter_frac=0.0, max_delay_s=2.0
         )
         assert policy.backoff_s(5, random.Random(0)) == pytest.approx(2.0)
 
     def test_jitter_stays_within_band(self):
-        policy = RetryPolicy(base_delay_s=1.0, jitter=0.5, max_delay_s=1.0)
+        policy = RetryPolicy(base_delay_s=1.0, jitter_frac=0.5, max_delay_s=1.0)
         rng = random.Random(0)
         for _ in range(50):
             delay = policy.backoff_s(1, rng)

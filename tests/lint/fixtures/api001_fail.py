@@ -1,0 +1,21 @@
+"""Fixture: API001 violations — missing public annotations."""
+
+from dataclasses import dataclass
+
+
+def scale(values, factor):
+    return [v * factor for v in values]
+
+
+def half_annotated(x: int, y) -> int:
+    return x + y
+
+
+def no_return_annotation(x: int):
+    return x
+
+
+@dataclass
+class Config:
+    name: str
+    retries = 3

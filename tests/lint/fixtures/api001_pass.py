@@ -1,0 +1,21 @@
+"""Fixture: API001-clean — public surface fully annotated."""
+
+from dataclasses import dataclass
+from typing import List
+
+
+def scale(values: List[float], factor: float) -> List[float]:
+    return [v * factor for v in values]
+
+
+def _private_helper(x, y):
+    return x + y
+
+
+@dataclass
+class Config:
+    name: str
+    retries: int = 3
+
+    def describe(self) -> str:
+        return f"{self.name}:{self.retries}"

@@ -1,0 +1,29 @@
+"""Fixture: DET001 violations — global streams and literal seeds."""
+
+import random
+
+import numpy as np
+
+
+def jitter() -> float:
+    return random.random()
+
+
+def shuffle_everything(items: list) -> None:
+    random.shuffle(items)
+
+
+def hardcoded_stream() -> random.Random:
+    return random.Random(0)
+
+
+def unseeded_stream() -> random.Random:
+    return random.Random()
+
+
+def numpy_global() -> float:
+    return float(np.random.rand())
+
+
+def numpy_literal_generator() -> object:
+    return np.random.default_rng(42)

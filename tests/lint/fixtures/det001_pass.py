@@ -1,0 +1,17 @@
+"""Fixture: DET001-clean — every stream derives from an explicit seed."""
+
+import random
+
+import numpy as np
+
+
+def stream(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def derived_stream(seed: int, label_ord: int) -> random.Random:
+    return random.Random((seed << 8) ^ label_ord)
+
+
+def numpy_stream(seed: int) -> object:
+    return np.random.default_rng(seed)

@@ -1,0 +1,21 @@
+"""Fixture: DET002 violations — wall clock in simulation logic."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def tick() -> float:
+    return perf_counter()
+
+
+def deadline() -> float:
+    return time.monotonic() + 5.0
+
+
+def today() -> str:
+    return datetime.now().isoformat()

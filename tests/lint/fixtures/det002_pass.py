@@ -1,0 +1,9 @@
+"""Fixture: DET002-clean — only simulated time, no wall clock."""
+
+
+def advance(now_s: float, dt_s: float) -> float:
+    return now_s + dt_s
+
+
+def airtime_budget(window_s: float, used_s: float) -> float:
+    return max(0.0, window_s - used_s)

@@ -1,0 +1,16 @@
+"""Fixture: DET003 violations — exact equality on float times."""
+
+
+def same_instant(start_s: float, end_s: float) -> bool:
+    return start_s == end_s
+
+
+def not_yet_closed(t_s: float, close_s: float) -> bool:
+    return t_s != close_s
+
+
+class Window:
+    start_s: float = 0.0
+
+    def opens_at(self, t_s: float) -> bool:
+        return self.start_s == t_s

@@ -1,0 +1,15 @@
+"""Fixture: DET003-clean — isclose / ordering / integer ticks."""
+
+import math
+
+
+def same_instant(start_s: float, end_s: float) -> bool:
+    return math.isclose(start_s, end_s)
+
+
+def strictly_before(start_s: float, end_s: float) -> bool:
+    return start_s < end_s
+
+
+def same_tick(start_tick: int, end_tick: int) -> bool:
+    return start_tick == end_tick

@@ -1,0 +1,10 @@
+"""Fixture: UNIT001 violations — physical quantities without units."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class RadioConfig:
+    timeout: float = 1.0
+    bandwidth: int = 125_000
+    tx_power: float = 14.0

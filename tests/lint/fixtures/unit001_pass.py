@@ -1,0 +1,12 @@
+"""Fixture: UNIT001-clean — unit suffixes and dimensionless kinds."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class RadioConfig:
+    timeout_s: float = 1.0
+    bandwidth_hz: int = 125_000
+    tx_power_dbm: float = 14.0
+    tx_power_index: int = 0
+    drop_prob: float = 0.0

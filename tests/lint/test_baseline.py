@@ -1,0 +1,71 @@
+"""Baseline round-trip: write, load, apply, stale detection."""
+
+import json
+
+import pytest
+
+from repro.lint import Finding, apply_baseline, load_baseline, write_baseline
+
+F1 = Finding("src/repro/a.py", 3, 0, "DET001", "global stream")
+F2 = Finding("src/repro/b.py", 7, 4, "API001", "missing annotation")
+F3 = Finding("src/repro/c.py", 1, 0, "UNIT001", "no unit suffix")
+
+
+class TestRoundTrip:
+    def test_write_then_load_recovers_fingerprints(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        count = write_baseline(path, [F1, F2])
+        assert count == 2
+        assert load_baseline(path) == {F1.fingerprint(), F2.fingerprint()}
+
+    def test_apply_splits_new_from_grandfathered(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        write_baseline(path, [F1])
+        fresh, grandfathered, stale = apply_baseline(
+            [F1, F2], load_baseline(path)
+        )
+        assert fresh == [F2]
+        assert grandfathered == 1
+        assert stale == set()
+
+    def test_fixed_findings_become_stale_entries(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        write_baseline(path, [F1, F3])
+        fresh, grandfathered, stale = apply_baseline(
+            [F1], load_baseline(path)
+        )
+        assert fresh == []
+        assert grandfathered == 1
+        assert stale == {F3.fingerprint()}
+
+    def test_duplicate_fingerprints_written_once(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        same_line_twice = Finding(F1.path, 99, 0, F1.rule_id, F1.message)
+        assert write_baseline(path, [F1, same_line_twice]) == 1
+
+    def test_entries_carry_human_context(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        write_baseline(path, [F2])
+        with open(path) as fh:
+            data = json.load(fh)
+        (entry,) = data["findings"]
+        assert entry["rule"] == "API001"
+        assert entry["path"] == "src/repro/b.py"
+        assert entry["message"] == "missing annotation"
+
+
+class TestEdgeCases:
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        assert load_baseline(str(tmp_path / "nope.json")) == set()
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError):
+            load_baseline(str(path))
+
+    def test_entry_without_fingerprint_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"findings": [{"rule": "DET001"}]}))
+        with pytest.raises(ValueError):
+            load_baseline(str(path))

@@ -1,0 +1,105 @@
+"""CLI behaviour of ``python -m repro.tools lint``."""
+
+import json
+import os
+
+import pytest
+
+from repro.tools.cli import main
+
+BAD_MODULE = (
+    "import random\n"
+    "def f() -> random.Random:\n"
+    "    return random.Random(0)\n"
+)
+
+CLEAN_MODULE = (
+    "import random\n"
+    "def f(seed: int) -> random.Random:\n"
+    "    return random.Random(seed)\n"
+)
+
+
+@pytest.fixture
+def tree(tmp_path, monkeypatch):
+    """A tiny repo tree the CLI can lint, with cwd inside it."""
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    monkeypatch.chdir(tmp_path)
+    return pkg
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tree, capsys):
+        (tree / "ok.py").write_text(CLEAN_MODULE)
+        assert main(["lint", "src"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().err
+
+    def test_findings_exit_one(self, tree, capsys):
+        (tree / "bad.py").write_text(BAD_MODULE)
+        assert main(["lint", "src"]) == 1
+        out = capsys.readouterr().out
+        assert "src/repro/bad.py:3" in out
+        assert "DET001" in out
+
+    def test_parse_error_exits_two(self, tree):
+        (tree / "broken.py").write_text("def f(:\n")
+        assert main(["lint", "src"]) == 2
+
+
+class TestFormats:
+    def test_json_format_is_machine_readable(self, tree, capsys):
+        (tree / "bad.py").write_text(BAD_MODULE)
+        assert main(["lint", "src", "--format", "json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["total"] == 1
+        assert data["by_rule"] == {"DET001": 1}
+        (finding,) = data["findings"]
+        assert finding["rule_id"] == "DET001"
+        assert finding["fingerprint"]
+
+    def test_list_rules(self, tree, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in (
+            "DET001",
+            "DET002",
+            "DET003",
+            "OBS001",
+            "API001",
+            "UNIT001",
+        ):
+            assert rule_id in out
+
+
+class TestBaselineFlow:
+    def test_write_then_apply_baseline(self, tree, capsys):
+        (tree / "bad.py").write_text(BAD_MODULE)
+        assert main(["lint", "src", "--write-baseline", "base.json"]) == 0
+        assert os.path.exists("base.json")
+        capsys.readouterr()
+        # Grandfathered: same findings now exit clean.
+        assert main(["lint", "src", "--baseline", "base.json"]) == 0
+        assert "1 baselined" in capsys.readouterr().err
+
+    def test_new_finding_still_fails_with_baseline(self, tree, capsys):
+        (tree / "bad.py").write_text(BAD_MODULE)
+        main(["lint", "src", "--write-baseline", "base.json"])
+        (tree / "worse.py").write_text(BAD_MODULE.replace("(0)", "()"))
+        capsys.readouterr()
+        assert main(["lint", "src", "--baseline", "base.json"]) == 1
+        assert "worse.py" in capsys.readouterr().out
+
+    def test_stale_baseline_entry_fails_the_run(self, tree, capsys):
+        (tree / "bad.py").write_text(BAD_MODULE)
+        main(["lint", "src", "--write-baseline", "base.json"])
+        (tree / "bad.py").write_text(CLEAN_MODULE)
+        capsys.readouterr()
+        assert main(["lint", "src", "--baseline", "base.json"]) == 1
+        assert "stale baseline entry" in capsys.readouterr().err
+
+    def test_malformed_baseline_exits_two(self, tree, capsys):
+        (tree / "ok.py").write_text(CLEAN_MODULE)
+        with open("base.json", "w") as fh:
+            fh.write("[]")
+        assert main(["lint", "src", "--baseline", "base.json"]) == 2

@@ -1,0 +1,89 @@
+"""Engine mechanics: suppressions, walking, scoping, report plumbing."""
+
+import os
+
+from repro.lint import Finding, lint_source
+from repro.lint.engine import iter_python_files, parse_suppressions
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+
+
+class TestSuppressions:
+    def test_single_rule(self):
+        got = parse_suppressions("x = 1  # repro: noqa[DET001]\n")
+        assert got == {1: {"DET001"}}
+
+    def test_multiple_rules_one_comment(self):
+        got = parse_suppressions("x = 1  # repro: noqa[DET001, OBS001]\n")
+        assert got == {1: {"DET001", "OBS001"}}
+
+    def test_comment_inside_string_is_not_a_suppression(self):
+        got = parse_suppressions('x = "# repro: noqa[DET001]"\n')
+        assert got == {}
+
+    def test_flake8_noqa_is_not_ours(self):
+        got = parse_suppressions("x = 1  # noqa: E731\n")
+        assert got == {}
+
+    def test_suppression_drops_finding_and_counts_it(self):
+        source = (
+            "import random\n"
+            "def f() -> random.Random:\n"
+            "    return random.Random(0)  # repro: noqa[DET001]\n"
+        )
+        report = lint_source("src/repro/x.py", source)
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_suppression_for_other_rule_does_not_hide(self):
+        source = (
+            "import random\n"
+            "def f() -> random.Random:\n"
+            "    return random.Random(0)  # repro: noqa[DET002]\n"
+        )
+        report = lint_source("src/repro/x.py", source)
+        assert [f.rule_id for f in report.findings] == ["DET001"]
+        assert report.suppressed == 0
+
+
+class TestWalker:
+    def test_lint_fixtures_are_never_walked(self):
+        files = list(iter_python_files(["tests"], root=REPO_ROOT))
+        assert files, "walker found no test files"
+        assert all("tests/lint/fixtures" not in rel for _, rel in files)
+
+    def test_walk_is_sorted_and_unique(self):
+        rels = [rel for _, rel in iter_python_files(["src"], root=REPO_ROOT)]
+        assert rels == sorted(rels)
+        assert len(rels) == len(set(rels))
+
+    def test_explicit_file_path(self):
+        target = os.path.join(REPO_ROOT, "src", "repro", "types.py")
+        files = list(iter_python_files([target], root=REPO_ROOT))
+        assert [rel for _, rel in files] == ["src/repro/types.py"]
+
+
+class TestReport:
+    def test_parse_error_is_reported_not_raised(self):
+        report = lint_source("src/repro/broken.py", "def f(:\n")
+        assert report.findings == []
+        assert len(report.parse_errors) == 1
+        assert "broken.py" in report.parse_errors[0]
+
+    def test_finding_fingerprint_ignores_line_number(self):
+        a = Finding("src/repro/x.py", 10, 0, "DET001", "msg")
+        b = Finding("src/repro/x.py", 99, 4, "DET001", "msg")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_finding_fingerprint_distinguishes_rule_and_path(self):
+        base = Finding("src/repro/x.py", 1, 0, "DET001", "msg")
+        assert (
+            base.fingerprint()
+            != Finding("src/repro/y.py", 1, 0, "DET001", "msg").fingerprint()
+        )
+        assert (
+            base.fingerprint()
+            != Finding("src/repro/x.py", 1, 0, "DET002", "msg").fingerprint()
+        )

@@ -1,0 +1,39 @@
+"""The CI gate: the shipped tree must lint clean against its baseline.
+
+This is the machine-checked form of the determinism contract (DESIGN.md
+section 9): zero non-baselined findings over ``src`` and ``tests``, no
+parse errors, and no stale grandfather entries left in the baseline.
+"""
+
+import os
+
+from repro.lint import apply_baseline, lint_paths, load_baseline
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+BASELINE_PATH = os.path.join(REPO_ROOT, "lint-baseline.json")
+
+
+def test_repo_tree_lints_clean():
+    report = lint_paths(["src", "tests"], root=REPO_ROOT)
+    assert report.parse_errors == []
+    assert report.files_checked > 100, "walker lost most of the tree"
+    baseline = load_baseline(BASELINE_PATH)
+    fresh, _, stale = apply_baseline(report.findings, baseline)
+    assert fresh == [], "new lint findings:\n" + "\n".join(
+        f"{f.path}:{f.line}: {f.rule_id} {f.message}" for f in fresh
+    )
+    assert stale == set(), (
+        "baseline entries whose findings are fixed; remove them from "
+        f"lint-baseline.json: {sorted(stale)}"
+    )
+
+
+def test_shipped_baseline_is_empty():
+    """The tree carries no grandfathered debt; keep it that way.
+
+    If you must add an entry, document the reason in DESIGN.md section 9
+    and delete this test's assertion in the same change.
+    """
+    assert load_baseline(BASELINE_PATH) == set()
