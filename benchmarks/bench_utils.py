@@ -24,12 +24,19 @@ _BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
 _last_run = {}
 
 
-def run_once(benchmark, fn, **kwargs):
-    """Time one full experiment run (no warmup: these are minutes-long)."""
+def run_once(benchmark, fn, health=False, **kwargs):
+    """Time one full experiment run (no warmup: these are minutes-long).
+
+    ``health=True`` additionally attaches a streaming
+    :class:`~repro.obs.health.HealthMonitor` to the session (the
+    observatory's overhead benchmark compares the two modes).
+    """
     counts = {}
 
     def observed(**kw):
-        with observe(trace=True, metrics=False, spans=False) as session:
+        with observe(
+            trace=True, metrics=False, spans=False, health=health
+        ) as session:
             # Count-only mode: emit() tallies per-type counts before the
             # storage-cap check, so a zero cap keeps memory flat while
             # the counts stay exact.

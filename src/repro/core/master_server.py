@@ -21,7 +21,10 @@ import logging
 import socket
 import threading
 import time
-from typing import Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.httpexport import HealthHTTPExporter
 
 from ..faults.plan import FaultPlan
 from ..obs import runtime as _obs
@@ -83,6 +86,7 @@ class MasterServer:
             target=self._serve, name="alphawan-master", daemon=True
         )
         self._started = False
+        self._exporter: Optional["HealthHTTPExporter"] = None
 
     # -- lifecycle -------------------------------------------------------
 
@@ -117,6 +121,34 @@ class MasterServer:
                 pass
         if self._started:
             self._thread.join(timeout=2.0)
+        if self._exporter is not None:
+            self._exporter.close()
+            self._exporter = None
+
+    def attach_exporter(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> "HealthHTTPExporter":
+        """Attach a health/metrics HTTP endpoint to this Master.
+
+        ``/healthz`` merges the Master's occupancy snapshot (plus its
+        dropped-request count) under ``sources.master``; the exporter is
+        closed with the server.
+        """
+        from ..obs.httpexport import HealthHTTPExporter
+
+        if self._exporter is None:
+            self._exporter = HealthHTTPExporter(
+                health_sources={"master": self._health_source},
+                host=host,
+                port=port,
+            ).start()
+        return self._exporter
+
+    def _health_source(self) -> Dict[str, object]:
+        snapshot: Dict[str, object] = dict(self.master.status())
+        snapshot["dropped_requests"] = self.dropped_requests
+        snapshot["degraded"] = self._master_down()
+        return snapshot
 
     def __enter__(self) -> "MasterServer":
         return self.start()

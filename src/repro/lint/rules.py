@@ -10,6 +10,7 @@ findings, registered by stable id so suppressions
 from __future__ import annotations
 
 import ast
+import re
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .engine import LintContext, rule
@@ -20,6 +21,7 @@ __all__ = [
     "det002_wall_clock",
     "det003_float_time_equality",
     "obs001_guarded_hooks",
+    "obs002_metric_names",
     "api001_public_annotations",
     "unit001_quantity_suffix",
 ]
@@ -276,7 +278,7 @@ def det003_float_time_equality(ctx: LintContext) -> Iterable[Finding]:
 # ---------------------------------------------------------------------------
 # OBS001 — obs runtime hook slots must be None-guarded at every use
 
-_OBS_SLOTS = {"TRACE", "METRICS", "SPANS"}
+_OBS_SLOTS = {"TRACE", "METRICS", "SPANS", "HEALTH"}
 _RUNTIME_MODULE_SUFFIXES = ("obs.runtime", "repro.obs.runtime")
 
 
@@ -501,6 +503,92 @@ def obs001_guarded_hooks(ctx: LintContext) -> Iterable[Finding]:
         checker.check_block(ctx.tree.body, set(), set())
         findings.extend(checker.findings)
     return findings
+
+
+# ---------------------------------------------------------------------------
+# OBS002 — metric/alert names snake_case; families registered consistently
+
+_METRIC_FACTORY_METHODS = {"counter", "gauge", "histogram"}
+_ALERT_RULE_CLASSES = {"AlertRule", "repro.obs.health.AlertRule"}
+_SNAKE_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+
+def _literal_str(node: Optional[ast.expr]) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _call_arg(
+    call: ast.Call, index: int, keyword: str
+) -> Optional[ast.expr]:
+    """Positional-or-keyword argument of ``call``, or None."""
+    if len(call.args) > index:
+        return call.args[index]
+    for kw in call.keywords:
+        if kw.arg == keyword:
+            return kw.value
+    return None
+
+
+@rule("OBS002", "metric/alert names snake_case; families registered once")
+def obs002_metric_names(ctx: LintContext) -> Iterable[Finding]:
+    aliases = _import_aliases(ctx.tree)
+    # name -> (kind, help) as first registered within this file.
+    families: Dict[str, Tuple[str, str]] = {}
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _METRIC_FACTORY_METHODS
+        ):
+            name = _literal_str(_call_arg(node, 0, "name"))
+            if name is None:
+                continue  # dynamic names checked at run time
+            if not _SNAKE_NAME_RE.match(name):
+                yield ctx.finding(
+                    node,
+                    "OBS002",
+                    f"metric name {name!r} is not snake_case "
+                    "([a-z][a-z0-9_]*)",
+                )
+            help_ = _literal_str(_call_arg(node, 1, "help_")) or ""
+            kind = func.attr
+            seen = families.get(name)
+            if seen is None:
+                families[name] = (kind, help_)
+            else:
+                seen_kind, seen_help = seen
+                if seen_kind != kind:
+                    yield ctx.finding(
+                        node,
+                        "OBS002",
+                        f"metric {name!r} re-registered as {kind} "
+                        f"(first registered as {seen_kind})",
+                    )
+                elif help_ and seen_help and help_ != seen_help:
+                    yield ctx.finding(
+                        node,
+                        "OBS002",
+                        f"metric {name!r} re-registered with a different "
+                        f"help string ({help_!r} vs {seen_help!r})",
+                    )
+                elif help_ and not seen_help:
+                    families[name] = (kind, help_)
+        else:
+            canon = _canonical_name(func, aliases)
+            if canon is None or canon not in _ALERT_RULE_CLASSES:
+                continue
+            name = _literal_str(_call_arg(node, 0, "name"))
+            if name is not None and not _SNAKE_NAME_RE.match(name):
+                yield ctx.finding(
+                    node,
+                    "OBS002",
+                    f"alert rule name {name!r} is not snake_case "
+                    "([a-z][a-z0-9_]*)",
+                )
 
 
 # ---------------------------------------------------------------------------

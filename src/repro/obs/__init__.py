@@ -34,10 +34,11 @@ export, and in the run manifest (the first JSONL line).
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, Optional, Union
 
 from . import runtime
 from .events import EventType, TraceEvent
+from .health import Alert, AlertRule, HealthMonitor, health_score, health_status
 from .logconf import setup_logging
 from .manifest import build_manifest, config_digest, git_revision, scrub_wall_fields
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -66,6 +67,11 @@ __all__ = [
     "SpanStat",
     "span",
     "render_flame",
+    "HealthMonitor",
+    "AlertRule",
+    "Alert",
+    "health_score",
+    "health_status",
     "ObservabilitySession",
     "observe",
     "setup_logging",
@@ -94,10 +100,12 @@ class ObservabilitySession:
         recorder: Optional[TraceRecorder],
         metrics: Optional[MetricsRegistry],
         spans: Optional[SpanAggregator],
+        health: Optional[HealthMonitor] = None,
     ) -> None:
         self.recorder = recorder
         self.metrics = metrics
         self.spans = spans
+        self.health = health
 
     def flame(self) -> str:
         """Rendered flame summary of the recorded spans."""
@@ -117,25 +125,46 @@ def observe(
     trace: bool = True,
     metrics: bool = True,
     spans: bool = True,
+    health: Union[bool, HealthMonitor] = False,
     manifest: Optional[Dict[str, Any]] = None,
 ) -> Iterator[ObservabilitySession]:
     """Activate observability for the dynamic extent of the block.
 
     Only one session can be active per process (the hooks read
     process-local slots); nested sessions raise ``RuntimeError``.
+
+    ``health`` enables the streaming :class:`HealthMonitor` (pass
+    ``True`` for default alert rules, or a configured monitor).  The
+    monitor subscribes to the event stream, so enabling health with
+    ``trace=False`` still creates a count-only recorder (``max_events=0``
+    — events feed the listeners but are not stored).
     """
     if (
         runtime.TRACE is not None
         or runtime.METRICS is not None
         or runtime.SPANS is not None
+        or runtime.HEALTH is not None
     ):
         raise RuntimeError("an observability session is already active")
+    monitor: Optional[HealthMonitor] = None
+    if isinstance(health, HealthMonitor):
+        monitor = health
+    elif health:
+        monitor = HealthMonitor()
+    recorder: Optional[TraceRecorder] = None
+    if trace:
+        recorder = TraceRecorder(manifest=manifest)
+    elif monitor is not None:
+        recorder = TraceRecorder(manifest=manifest, max_events=0)
+    if recorder is not None and monitor is not None:
+        recorder.add_listener(monitor.observe_event)
     session = ObservabilitySession(
-        recorder=TraceRecorder(manifest=manifest) if trace else None,
+        recorder=recorder,
         metrics=MetricsRegistry() if metrics else None,
         spans=SpanAggregator() if spans else None,
+        health=monitor,
     )
-    runtime.activate(session.recorder, session.metrics, session.spans)
+    runtime.activate(session.recorder, session.metrics, session.spans, monitor)
     try:
         yield session
     finally:

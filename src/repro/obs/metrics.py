@@ -118,6 +118,40 @@ class Histogram:
         """Mean of all observations (0.0 when empty)."""
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by linear bucket interpolation.
+
+        Prometheus ``histogram_quantile`` semantics: walk the cumulative
+        buckets to the one containing rank ``q * count`` and interpolate
+        linearly inside it.  The lowest bucket interpolates from
+        ``min(0, edge)``; ranks landing in the ``+Inf`` bucket clamp to
+        the top finite edge (the bucket has no upper bound to
+        interpolate toward).  Empty histograms return ``nan``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return math.nan
+        target = q * self.count
+        prev_le = min(0.0, self.edges[0])
+        prev_cum = 0
+        for le, cum in zip(self.edges, self._running()):
+            if cum >= target:
+                if cum == prev_cum:
+                    return le
+                frac = (target - prev_cum) / (cum - prev_cum)
+                return prev_le + frac * (le - prev_le)
+            prev_le, prev_cum = le, cum
+        return self.edges[-1]
+
+    def _running(self) -> List[int]:
+        running = 0
+        out: List[int] = []
+        for n in self.bucket_counts[:-1]:
+            running += n
+            out.append(running)
+        return out
+
 
 class _Family:
     """One metric family: shared name/help/type, children by label set."""
@@ -154,27 +188,39 @@ def _label_key(labels: Mapping[str, object]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape per the exposition format: backslash, quote, newline."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _format_labels(labels: LabelKey) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in labels)
     return "{" + inner + "}"
 
 
 def _format_value(v: float) -> str:
+    v = float(v)
+    if math.isnan(v):
+        return "NaN"
     if v == math.inf:
         return "+Inf"
-    if float(v).is_integer():
+    if v == -math.inf:
+        return "-Inf"
+    if v.is_integer():
         return str(int(v))
-    return repr(float(v))
+    return repr(v)
 
 
 class MetricsRegistry:
     """Get-or-create registry of counters, gauges, and histograms.
 
     The first call for a metric name fixes its type (and, for
-    histograms, its buckets); later calls with a conflicting type
-    raise ``ValueError``.
+    histograms, its buckets); later calls with a conflicting type or a
+    different non-empty help string raise ``ValueError``.
     """
 
     def __init__(self) -> None:
@@ -197,6 +243,13 @@ class MetricsRegistry:
                 raise ValueError(
                     f"metric {name!r} already registered as {fam.kind}"
                 )
+            elif help_ and fam.help and help_ != fam.help:
+                raise ValueError(
+                    f"metric {name!r} already registered with help "
+                    f"{fam.help!r}"
+                )
+            elif help_ and not fam.help:
+                fam.help = help_  # adopt the first non-empty help string
             return fam
 
     def counter(self, name: str, help_: str = "", **labels: object) -> Counter:

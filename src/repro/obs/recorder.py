@@ -16,11 +16,14 @@ from __future__ import annotations
 import json
 import threading
 from collections import Counter
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from .events import EventType, TraceEvent
 
 __all__ = ["TraceRecorder", "load_trace"]
+
+# A live subscriber to the event stream: (etype, t, fields).
+TraceListener = Callable[[str, Optional[float], Dict[str, Any]], None]
 
 TRACE_SCHEMA_VERSION = 1
 
@@ -49,8 +52,19 @@ class TraceRecorder:
         self._seq = 0
         self._run_index = 0
         self._lock = threading.Lock()
+        self._listeners: List[TraceListener] = []
 
     # -- emission ---------------------------------------------------------
+
+    def add_listener(self, listener: TraceListener) -> None:
+        """Subscribe ``listener(etype, t, fields)`` to every emitted event.
+
+        Listeners see every event — including ones beyond ``max_events``
+        that storage drops — so streaming aggregators (the health
+        monitor) work on count-only recorders.  They are invoked outside
+        the storage lock; a listener needing exclusion locks itself.
+        """
+        self._listeners.append(listener)
 
     def emit(self, etype: str, t: Optional[float] = None, **fields: Any) -> None:
         """Append one event (thread-safe)."""
@@ -58,9 +72,11 @@ class TraceRecorder:
             self.counts[etype] += 1
             if len(self.events) >= self.max_events:
                 self.dropped_events += 1
-                return
-            self._seq += 1
-            self.events.append(TraceEvent(self._seq, etype, t, fields))
+            else:
+                self._seq += 1
+                self.events.append(TraceEvent(self._seq, etype, t, fields))
+        for listener in self._listeners:
+            listener(etype, t, fields)
 
     def next_run_index(self) -> int:
         """Allocate the index for a new simulation run segment."""

@@ -1,0 +1,324 @@
+"""Cross-run regression detection over traces, results, and benchmarks.
+
+Two runs of the same experiment should agree — byte-identically under
+the same seed, and within tolerance across code changes.  This module
+compares the *measurable surface* of two runs and reports every metric
+whose delta exceeds its tolerance:
+
+* **trace JSONL** files (:meth:`TraceRecorder.write_jsonl` output) —
+  compared on outcome counts, per-gateway decoder-occupancy peaks,
+  packet/event totals, rejections, and reboots;
+* **result JSON** files (``repro.tools run --json``) — compared on every
+  numeric scalar, with nested dictionaries flattened to dotted keys;
+* **benchmark trajectories** (``benchmarks/BENCH_*.json``) — compared on
+  the latest record's duration and event counts.
+
+The comparison is direction-agnostic: a run that suddenly *receives
+twice as many packets* is as suspicious as one that loses them — either
+way the reproduction changed behaviour and a human should look.  CI
+consumes the machine-readable report (`schema`, `status`, `checks`,
+`regressions`) and fails on ``status: "fail"``.
+
+Used by ``repro.tools regress`` and ``repro.tools trace diff``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .events import EventType
+from .recorder import load_trace
+from .timeline import (
+    decoder_occupancy,
+    packet_timelines,
+    run_segments,
+    summarize_trace,
+    trace_outcome_counts,
+)
+
+__all__ = [
+    "Tolerance",
+    "compare_metrics",
+    "compare_runs",
+    "load_run_metrics",
+    "metrics_from_trace",
+    "metrics_from_result",
+    "metrics_from_bench",
+    "trace_diff",
+]
+
+REGRESS_SCHEMA_VERSION = 1
+
+# Ignore result keys that legitimately differ between runs.
+_VOLATILE_KEY_PARTS = ("manifest", "wall", "date", "duration_s")
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Allowed drift for one metric (or the default for all).
+
+    A delta passes when it is within ``abs_tol`` *or* within
+    ``rel_tol`` of the larger magnitude — small-count metrics (e.g. two
+    reboots vs three) would otherwise fail on noise a relative bound is
+    blind to.
+    """
+
+    rel_tol: float = 0.05
+    abs_tol: float = 1e-9
+
+    def ok(self, a: float, b: float) -> bool:
+        """Whether values ``a`` and ``b`` agree within this tolerance."""
+        delta = abs(a - b)
+        if delta <= self.abs_tol:
+            return True
+        denom = max(abs(a), abs(b))
+        return denom > 0 and delta / denom <= self.rel_tol
+
+
+# -- metric extraction ------------------------------------------------------
+
+
+def metrics_from_trace(events: Sequence[Mapping[str, Any]]) -> Dict[str, float]:
+    """Flatten a loaded JSONL trace into comparable scalar metrics."""
+    out: Dict[str, float] = {}
+    for outcome, count in trace_outcome_counts(events).items():
+        out[f"outcome_counts.{outcome}"] = float(count)
+    summary = summarize_trace(events)
+    out["events"] = float(summary["events"])
+    out["packets"] = float(summary["packets"])
+    out["sim_runs"] = float(summary["sim_runs"])
+    out["master_retries"] = float(summary["master_retries"])
+    out["master_dropped"] = float(summary["master_dropped"])
+    for gw, n in summary["decoder_rejections"].items():
+        out[f"decoder_rejections.{gw}"] = float(n)
+    for gw, n in summary["gateway_reboots"].items():
+        out[f"gateway_reboots.{gw}"] = float(n)
+    _, occupancy = decoder_occupancy(events)
+    for gw, series in occupancy.items():
+        out[f"occupancy_peak.{gw}"] = max(series) if series else 0.0
+    return out
+
+
+def _flatten_numeric(
+    value: Any, prefix: str, out: Dict[str, float]
+) -> None:
+    if isinstance(value, bool):
+        return
+    if isinstance(value, (int, float)):
+        if not math.isnan(float(value)):
+            out[prefix] = float(value)
+        return
+    if isinstance(value, Mapping):
+        for key in value:
+            name = f"{prefix}.{key}" if prefix else str(key)
+            if any(part in str(key).lower() for part in _VOLATILE_KEY_PARTS):
+                continue
+            _flatten_numeric(value[key], name, out)
+    elif isinstance(value, (list, tuple)) and value:
+        # Series compare element-wise only when short; long series
+        # compare on their mean (length changes still alter the mean).
+        numeric = [
+            float(v)
+            for v in value
+            if isinstance(v, (int, float)) and not isinstance(v, bool)
+        ]
+        if len(numeric) != len(value):
+            return
+        if len(numeric) <= 8:
+            for i, v in enumerate(numeric):
+                out[f"{prefix}[{i}]"] = v
+        else:
+            out[f"{prefix}.mean"] = sum(numeric) / len(numeric)
+            out[f"{prefix}.len"] = float(len(numeric))
+
+
+def metrics_from_result(result: Mapping[str, Any]) -> Dict[str, float]:
+    """Flatten an experiment-result JSON into comparable scalars."""
+    out: Dict[str, float] = {}
+    _flatten_numeric(result, "", out)
+    return out
+
+
+def metrics_from_bench(records: Sequence[Mapping[str, Any]]) -> Dict[str, float]:
+    """Comparable scalars from the *latest* BENCH_*.json record."""
+    if not records:
+        return {}
+    last = records[-1]
+    out: Dict[str, float] = {}
+    if isinstance(last.get("events"), (int, float)):
+        out["events"] = float(last["events"])
+    counts = last.get("event_counts")
+    if isinstance(counts, Mapping):
+        for etype, n in counts.items():
+            if isinstance(n, (int, float)):
+                out[f"event_counts.{etype}"] = float(n)
+    return out
+
+
+def load_run_metrics(path: str) -> Tuple[str, Dict[str, float]]:
+    """Sniff ``path``'s format and extract its metrics.
+
+    Returns ``(source_kind, metrics)`` where kind is one of ``trace``,
+    ``result``, or ``bench``.
+    """
+    with open(path) as fh:
+        head = fh.read(1).lstrip()
+    if head == "[":
+        with open(path) as fh:
+            records = json.load(fh)
+        return "bench", metrics_from_bench(records)
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except json.JSONDecodeError:
+        payload = None
+    if isinstance(payload, Mapping):
+        return "result", metrics_from_result(payload)
+    # Multi-line JSONL: a recorded trace.
+    return "trace", metrics_from_trace(load_trace(path))
+
+
+# -- comparison -------------------------------------------------------------
+
+
+def compare_metrics(
+    a: Mapping[str, float],
+    b: Mapping[str, float],
+    tolerances: Optional[Mapping[str, Tolerance]] = None,
+    default: Optional[Tolerance] = None,
+) -> List[Dict[str, Any]]:
+    """Compare two metric maps; one check dict per shared-or-missing key.
+
+    ``tolerances`` overrides the ``default`` per metric name.  A metric
+    present on only one side is always a failing check (the run surface
+    itself changed).
+    """
+    default = default or Tolerance()
+    tolerances = dict(tolerances or {})
+    checks: List[Dict[str, Any]] = []
+    for name in sorted(set(a) | set(b)):
+        tol = tolerances.get(name, default)
+        va, vb = a.get(name), b.get(name)
+        if va is None or vb is None:
+            checks.append(
+                {
+                    "metric": name,
+                    "a": va,
+                    "b": vb,
+                    "delta": None,
+                    "rel_delta": None,
+                    "tolerance": tol.rel_tol,
+                    "ok": False,
+                    "reason": "missing in one run",
+                }
+            )
+            continue
+        delta = vb - va
+        denom = max(abs(va), abs(vb))
+        rel = abs(delta) / denom if denom > 0 else 0.0
+        checks.append(
+            {
+                "metric": name,
+                "a": va,
+                "b": vb,
+                "delta": delta,
+                "rel_delta": rel,
+                "tolerance": tol.rel_tol,
+                "ok": tol.ok(va, vb),
+            }
+        )
+    return checks
+
+
+def compare_runs(
+    path_a: str,
+    path_b: str,
+    tolerances: Optional[Mapping[str, Tolerance]] = None,
+    default: Optional[Tolerance] = None,
+) -> Dict[str, Any]:
+    """Compare two run artifacts; the ``repro.tools regress`` payload.
+
+    The two paths may be trace JSONL, result JSON, or BENCH files —
+    both sides must sniff to the same kind.
+    """
+    kind_a, metrics_a = load_run_metrics(path_a)
+    kind_b, metrics_b = load_run_metrics(path_b)
+    if kind_a != kind_b:
+        raise ValueError(
+            f"cannot compare a {kind_a} run against a {kind_b} run "
+            f"({path_a} vs {path_b})"
+        )
+    checks = compare_metrics(
+        metrics_a, metrics_b, tolerances=tolerances, default=default
+    )
+    regressions = [c for c in checks if not c["ok"]]
+    return {
+        "schema": REGRESS_SCHEMA_VERSION,
+        "kind": kind_a,
+        "a": os.path.basename(path_a),
+        "b": os.path.basename(path_b),
+        "status": "fail" if regressions else "pass",
+        "metrics_compared": len(checks),
+        "checks": checks,
+        "regressions": regressions,
+    }
+
+
+# -- structured trace diff --------------------------------------------------
+
+
+def _delta_map(
+    a: Mapping[str, float], b: Mapping[str, float]
+) -> Dict[str, Dict[str, float]]:
+    return {
+        key: {
+            "a": a.get(key, 0.0),
+            "b": b.get(key, 0.0),
+            "delta": b.get(key, 0.0) - a.get(key, 0.0),
+        }
+        for key in sorted(set(a) | set(b))
+    }
+
+
+def trace_diff(
+    events_a: Sequence[Mapping[str, Any]],
+    events_b: Sequence[Mapping[str, Any]],
+) -> Dict[str, Any]:
+    """Structured diff of two traces (the ``trace diff`` payload)."""
+    counts_a = {
+        k: float(v) for k, v in trace_outcome_counts(events_a).items()
+    }
+    counts_b = {
+        k: float(v) for k, v in trace_outcome_counts(events_b).items()
+    }
+    _, occ_a = decoder_occupancy(events_a)
+    _, occ_b = decoder_occupancy(events_b)
+    peaks_a = {gw: max(s) if s else 0.0 for gw, s in occ_a.items()}
+    peaks_b = {gw: max(s) if s else 0.0 for gw, s in occ_b.items()}
+
+    def type_counts(events: Sequence[Mapping[str, Any]]) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for ev in events:
+            etype = ev.get("type")
+            if isinstance(etype, str) and etype != EventType.MANIFEST:
+                out[etype] = out.get(etype, 0.0) + 1.0
+        return out
+
+    return {
+        "schema": REGRESS_SCHEMA_VERSION,
+        "outcome_counts": _delta_map(counts_a, counts_b),
+        "occupancy_peaks": _delta_map(peaks_a, peaks_b),
+        "event_counts": _delta_map(type_counts(events_a), type_counts(events_b)),
+        "packets": {
+            "a": float(len(packet_timelines(events_a))),
+            "b": float(len(packet_timelines(events_b))),
+        },
+        "sim_runs": {
+            "a": float(len(run_segments(events_a))),
+            "b": float(len(run_segments(events_b))),
+        },
+    }

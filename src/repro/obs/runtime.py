@@ -1,11 +1,12 @@
 """Process-local observability state shared by every instrumented module.
 
 Instrumented hot paths (decoder pool, dispatcher, engine) are written
-against three module-level slots that default to ``None``:
+against four module-level slots that default to ``None``:
 
 * :data:`TRACE` — the active :class:`~repro.obs.recorder.TraceRecorder`
 * :data:`METRICS` — the active :class:`~repro.obs.metrics.MetricsRegistry`
 * :data:`SPANS` — the active :class:`~repro.obs.profiling.SpanAggregator`
+* :data:`HEALTH` — the active :class:`~repro.obs.health.HealthMonitor`
 
 A hook is a single attribute load plus a ``None`` check when
 observability is disabled — the overhead budget for the default
@@ -19,34 +20,38 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .health import HealthMonitor
     from .metrics import MetricsRegistry
     from .profiling import SpanAggregator
     from .recorder import TraceRecorder
 
-__all__ = ["TRACE", "METRICS", "SPANS", "activate", "deactivate"]
+__all__ = ["TRACE", "METRICS", "SPANS", "HEALTH", "activate", "deactivate"]
 
 # The active observability session components (None = disabled).
 TRACE: Optional["TraceRecorder"] = None
 METRICS: Optional["MetricsRegistry"] = None
 SPANS: Optional["SpanAggregator"] = None
+HEALTH: Optional["HealthMonitor"] = None
 
 
 def activate(
     trace: Optional["TraceRecorder"] = None,
     metrics: Optional["MetricsRegistry"] = None,
     spans: Optional["SpanAggregator"] = None,
+    health: Optional["HealthMonitor"] = None,
 ) -> None:
     """Install session components into the module slots.
 
     Called by :func:`repro.obs.observe`; tests may call it directly.
     Passing ``None`` for a component leaves that dimension disabled.
     """
-    global TRACE, METRICS, SPANS
+    global TRACE, METRICS, SPANS, HEALTH
     TRACE = trace
     METRICS = metrics
     SPANS = spans
+    HEALTH = health
 
 
 def deactivate() -> None:
     """Disable all observability (restores the zero-overhead default)."""
-    activate(None, None, None)
+    activate(None, None, None, None)

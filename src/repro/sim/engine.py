@@ -128,6 +128,9 @@ class OnlineSimulator(Simulator):
                         )
         if rec is not None:
             rec.emit(EventType.SIM_RUN_END, run=run_index)
+        health = _obs.HEALTH
+        if health is not None:
+            health.evaluate()
         return result
 
     @staticmethod
@@ -181,6 +184,7 @@ class OnlineSimulator(Simulator):
         gw.pool.reset()
         gw.pool.resize(gw.model.decoders)
         rec_trace = _obs.TRACE
+        health = _obs.HEALTH
         index = gw._build_time_index(observations)
         noise_figure = gw.noise_figure_db
         backhaul_rng = (
@@ -207,6 +211,10 @@ class OnlineSimulator(Simulator):
         for obs in ordered:
             tx = obs.transmission
             now = tx.lock_on_s
+            if health is not None:
+                # Advance the gateway's sim clock so windowed aggregates
+                # prune and alert rules tick even through quiet spells.
+                health.advance_gateway(gw.gateway_id, now)
             # Apply timeline events due before this lock-on.
             while pending_idx < len(events) and events[pending_idx].time_s <= now:
                 ev = events[pending_idx]

@@ -172,4 +172,7 @@ class Simulator:
                         )
         if rec is not None:
             rec.emit(EventType.SIM_RUN_END, run=run_index)
+        health = _obs.HEALTH
+        if health is not None:
+            health.evaluate()
         return result

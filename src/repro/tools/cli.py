@@ -6,8 +6,12 @@ Usage::
     python -m repro.tools run fig12a --seed 3 --json out.json
     python -m repro.tools -v run chaos --trace chaos.jsonl --metrics chaos.prom
     python -m repro.tools render fig2a
+    python -m repro.tools run chaos --trace chaos.jsonl --health health.json
     python -m repro.tools trace summarize chaos.jsonl
     python -m repro.tools trace render chaos.jsonl --bucket-s 2
+    python -m repro.tools trace diff a.jsonl b.jsonl
+    python -m repro.tools regress a.jsonl b.jsonl --rel-tol 0.1
+    python -m repro.tools watch --trace chaos.jsonl --once
     python -m repro.tools lint src tests --format json
     python -m repro.tools lint --baseline lint-baseline.json
 
@@ -15,7 +19,10 @@ Usage::
 as JSON — with ``--trace`` / ``--metrics`` the run executes inside an
 observability session and exports the JSONL trace / Prometheus
 snapshot.  ``render`` draws the headline series as an ASCII chart.
-``trace`` inspects a previously written JSONL trace.  ``lint`` runs the
+``trace`` inspects a previously written JSONL trace (``diff`` compares
+two).  ``regress`` compares two run artifacts against tolerances and
+exits non-zero on drift.  ``watch`` renders a live health dashboard
+from an exporter URL or a growing trace file.  ``lint`` runs the
 determinism & invariant linter (:mod:`repro.lint`) over the tree.
 """
 
@@ -32,8 +39,10 @@ from ..lint.cli import add_lint_arguments, run_lint
 from ..obs import observe, setup_logging
 from ..obs.manifest import Stopwatch, build_manifest
 from ..obs.recorder import load_trace
+from ..obs.regress import Tolerance, compare_runs, trace_diff
 from ..obs.timeline import filter_events, render_occupancy, summarize_trace
 from .ascii_chart import bar_chart, line_chart
+from .watch import watch as run_watch
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -159,7 +168,7 @@ def _run_observed(args, fast: bool):
         config={"seed": args.seed, "fast": fast},
         extra={"fast": fast},
     )
-    if not (args.trace_path or args.metrics_path):
+    if not (args.trace_path or args.metrics_path or args.health_path):
         result = _call_driver(args.name, args.seed, fast)
         manifest["wall_time_s"] = watch.elapsed_s()
         return result, manifest
@@ -167,11 +176,12 @@ def _run_observed(args, fast: bool):
         trace=bool(args.trace_path),
         metrics=bool(args.metrics_path),
         spans=False,
+        health=bool(args.health_path),
         manifest=manifest,
     ) as session:
         result = _call_driver(args.name, args.seed, fast)
     manifest["wall_time_s"] = watch.elapsed_s()
-    if session.recorder is not None:
+    if session.recorder is not None and args.trace_path:
         session.recorder.manifest["wall_time_s"] = manifest["wall_time_s"]
         session.recorder.write_jsonl(args.trace_path)
         print(
@@ -181,6 +191,12 @@ def _run_observed(args, fast: bool):
     if session.metrics is not None:
         session.metrics.write_prometheus(args.metrics_path)
         print(f"wrote {args.metrics_path}", file=sys.stderr)
+    if session.health is not None:
+        session.health.evaluate()
+        with open(args.health_path, "w") as fh:
+            json.dump(session.health.report(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.health_path}", file=sys.stderr)
     return result, manifest
 
 
@@ -210,7 +226,49 @@ def _trace_command(args) -> int:
     if args.trace_command == "render":
         print(render_occupancy(events, bucket_s=args.bucket_s))
         return 0
+    if args.trace_command == "diff":
+        events_b = load_trace(args.path_b)
+        print(json.dumps(trace_diff(events, events_b), indent=2))
+        return 0
     return 2
+
+
+def _regress_command(args) -> int:
+    tolerances = {}
+    for spec in args.tol:
+        metric, _, value = spec.partition("=")
+        if not metric or not value:
+            print(f"regress: bad --tol {spec!r} (want METRIC=REL)", file=sys.stderr)
+            return 2
+        tolerances[metric] = Tolerance(
+            rel_tol=float(value), abs_tol=args.abs_tol
+        )
+    try:
+        report = compare_runs(
+            args.path_a,
+            args.path_b,
+            tolerances=tolerances,
+            default=Tolerance(rel_tol=args.rel_tol, abs_tol=args.abs_tol),
+        )
+    except (OSError, ValueError) as exc:
+        print(f"regress: {exc}", file=sys.stderr)
+        return 2
+    payload = json.dumps(report, indent=2)
+    if args.json_path:
+        with open(args.json_path, "w") as fh:
+            fh.write(payload + "\n")
+        print(f"wrote {args.json_path}", file=sys.stderr)
+    else:
+        print(payload)
+    if report["status"] != "pass":
+        for check in report["regressions"]:
+            print(
+                f"regression: {check['metric']} "
+                f"{check['a']} -> {check['b']}",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -257,6 +315,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="write a Prometheus-text metrics snapshot to this file",
     )
+    run_p.add_argument(
+        "--health",
+        dest="health_path",
+        default=None,
+        help="run with the health observatory and write its report here",
+    )
 
     render_p = sub.add_parser("render", help="run and draw an ASCII chart")
     render_p.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -282,6 +346,75 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     rend_p.add_argument("path")
     rend_p.add_argument("--bucket-s", dest="bucket_s", type=float, default=1.0)
+    diff_p = trace_sub.add_parser(
+        "diff", help="structured diff of two trace files"
+    )
+    diff_p.add_argument("path")
+    diff_p.add_argument("path_b")
+
+    regress_p = sub.add_parser(
+        "regress",
+        help="compare two run artifacts (trace/result/bench) for drift",
+    )
+    regress_p.add_argument("path_a")
+    regress_p.add_argument("path_b")
+    regress_p.add_argument(
+        "--rel-tol",
+        type=float,
+        default=0.05,
+        help="default relative tolerance (fraction, default 0.05)",
+    )
+    regress_p.add_argument(
+        "--abs-tol",
+        type=float,
+        default=1e-9,
+        help="default absolute tolerance",
+    )
+    regress_p.add_argument(
+        "--tol",
+        action="append",
+        default=[],
+        metavar="METRIC=REL",
+        help="per-metric relative tolerance override (repeatable)",
+    )
+    regress_p.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        help="write the machine-readable report to this file",
+    )
+
+    watch_p = sub.add_parser(
+        "watch", help="live ASCII health dashboard (endpoint or trace tail)"
+    )
+    watch_src = watch_p.add_mutually_exclusive_group(required=True)
+    watch_src.add_argument(
+        "--url", default=None, help="base URL of a health HTTP exporter"
+    )
+    watch_src.add_argument(
+        "--trace",
+        dest="trace_path",
+        default=None,
+        help="tail a (growing) trace JSONL file instead of an endpoint",
+    )
+    watch_p.add_argument(
+        "--interval",
+        dest="interval_s",
+        type=float,
+        default=1.0,
+        help="refresh period in seconds",
+    )
+    watch_p.add_argument(
+        "--frames",
+        type=int,
+        default=None,
+        help="stop after N refreshes (default: until interrupted)",
+    )
+    watch_p.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (same as --frames 1)",
+    )
 
     lint_p = sub.add_parser(
         "lint", help="run the determinism & invariant linter"
@@ -319,6 +452,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "trace":
         return _trace_command(args)
+
+    if args.command == "regress":
+        return _regress_command(args)
+
+    if args.command == "watch":
+        return run_watch(
+            url=args.url,
+            trace_path=args.trace_path,
+            interval_s=args.interval_s,
+            frames=1 if args.once else args.frames,
+        )
 
     if args.command == "lint":
         return run_lint(args)

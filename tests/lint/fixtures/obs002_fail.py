@@ -1,0 +1,23 @@
+"""Fixture: OBS002 violations — bad names and conflicting families."""
+
+from repro.obs.health import AlertRule
+from repro.obs.metrics import MetricsRegistry
+
+
+def register(registry: MetricsRegistry) -> None:
+    # 1: camelCase metric name.
+    registry.counter("reproOutcomesTotal", "fates").inc()
+    registry.gauge("repro_decoder_occupancy", "busy fraction", gw=0).set(0.5)
+    # 2: same family re-registered with a different type.
+    registry.counter("repro_decoder_occupancy", "busy fraction").inc()
+    registry.counter("repro_retries_total", "retries").inc()
+    # 3: same family re-registered with a different help string.
+    registry.counter("repro_retries_total", "attempts").inc()
+
+
+# 4: alert rule name is not snake_case.
+RULE = AlertRule(
+    "DecoderOccupancyHigh",
+    metric="decoder_occupancy",
+    threshold=0.9,
+)

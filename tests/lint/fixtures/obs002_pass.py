@@ -1,0 +1,24 @@
+"""Fixture: OBS002-clean — snake_case names, consistent families."""
+
+from repro.obs.health import AlertRule
+from repro.obs.metrics import MetricsRegistry
+
+
+def register(registry: MetricsRegistry) -> None:
+    registry.counter("repro_outcomes_total", "fates", outcome="received").inc()
+    # Same family, same kind and help: fine.
+    registry.counter("repro_outcomes_total", "fates", outcome="lost").inc()
+    # Empty help on a later call never conflicts.
+    registry.counter("repro_outcomes_total", outcome="collided").inc()
+    registry.gauge("repro_decoder_occupancy", "busy fraction", gw=0).set(0.5)
+    registry.histogram("repro_master_rtt_seconds", "RTTs").observe(0.01)
+    # Dynamic names are a run-time concern, not a lint finding.
+    name = "repro_dynamic_total"
+    registry.counter(name, "dynamic").inc()
+
+
+RULE = AlertRule(
+    "decoder_occupancy_high",
+    metric="decoder_occupancy",
+    threshold=0.9,
+)

@@ -21,6 +21,7 @@ EXPECTED_FAIL_COUNTS = {
     "DET002": 4,  # time.time, perf_counter, monotonic, datetime.now
     "DET003": 3,  # ==, !=, method-attribute ==
     "OBS001": 4,  # frozen import, chained, unguarded local, guard-too-late
+    "OBS002": 4,  # camelCase metric, kind conflict, help conflict, bad rule name
     "API001": 5,  # two on scale(), one param, one return, one dataclass attr
     "UNIT001": 3,  # timeout, bandwidth, tx_power
 }

@@ -100,3 +100,55 @@ class TestRegistry:
         reg = MetricsRegistry()
         assert reg.to_prometheus() == ""
         assert reg.to_json() == {}
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_is_nan(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        assert math.isnan(h.quantile(0.5))
+
+    def test_rejects_out_of_range_q(self):
+        h = Histogram(buckets=(1.0,))
+        h.observe(0.5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.1)
+
+    def test_linear_interpolation_within_bucket(self):
+        h = Histogram(buckets=(1.0, 2.0, 3.0))
+        for v in (0.5, 1.5, 1.6, 2.5):
+            h.observe(v)
+        # Rank 2 of 4 lands at the top of the (1, 2] bucket: 3 of 4
+        # observations are <= 2, so the median interpolates inside it.
+        assert h.quantile(0.5) == pytest.approx(1.0 + (2.0 - 1.0) / 2.0)
+        assert h.quantile(0.0) == pytest.approx(0.0)
+        assert h.quantile(1.0) == pytest.approx(3.0)
+
+    def test_single_bucket_everything_interpolates_from_zero(self):
+        h = Histogram(buckets=(4.0,))
+        for _ in range(4):
+            h.observe(1.0)
+        assert h.quantile(0.5) == pytest.approx(2.0)
+
+    def test_negative_low_edge_extends_interpolation_base(self):
+        h = Histogram(buckets=(-1.0, 1.0))
+        h.observe(-2.0)  # lands in the (-inf, -1] bucket
+        assert h.quantile(1.0) == pytest.approx(-1.0)
+
+    def test_empty_leading_bucket_returns_its_edge_at_q_zero(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(1.5)
+        assert h.quantile(0.0) == pytest.approx(1.0)
+
+    def test_rank_in_inf_bucket_clamps_to_top_edge(self):
+        h = Histogram(buckets=(1.0,))
+        h.observe(100.0)
+        assert h.quantile(0.99) == pytest.approx(1.0)
+
+    def test_quantiles_are_monotone(self):
+        h = Histogram()
+        for i in range(50):
+            h.observe(0.001 * (i + 1) * 7 % 30)
+        qs = [h.quantile(q) for q in (0.1, 0.5, 0.9, 0.95, 0.99)]
+        assert qs == sorted(qs)

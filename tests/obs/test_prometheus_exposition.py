@@ -1,0 +1,115 @@
+"""Edge cases of the Prometheus text exposition format."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestLabelEscaping:
+    def test_quotes_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", reason='say "hi"').set(1.0)
+        assert 'reason="say \\"hi\\""' in reg.to_prometheus()
+
+    def test_backslashes_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", path="a\\b").set(1.0)
+        assert 'path="a\\\\b"' in reg.to_prometheus()
+
+    def test_newlines_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", msg="line1\nline2").set(1.0)
+        text = reg.to_prometheus()
+        assert 'msg="line1\\nline2"' in text
+        # The sample must still be a single exposition line.
+        sample_lines = [l for l in text.splitlines() if l.startswith("g{")]
+        assert len(sample_lines) == 1
+
+    def test_backslash_before_quote_round_trips(self):
+        # Ordering matters: escaping the quote's backslash twice would
+        # corrupt the value.
+        reg = MetricsRegistry()
+        reg.gauge("g", v='\\"').set(1.0)
+        assert 'v="\\\\\\""' in reg.to_prometheus()
+
+
+class TestValueFormatting:
+    def test_nan_renders_as_NaN(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(math.nan)
+        assert "g NaN" in reg.to_prometheus()
+
+    def test_infinities_render_signed(self):
+        reg = MetricsRegistry()
+        reg.gauge("pos").set(math.inf)
+        reg.gauge("neg").set(-math.inf)
+        text = reg.to_prometheus()
+        assert "pos +Inf" in text
+        assert "neg -Inf" in text
+
+    def test_integral_floats_render_without_point(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total").inc(3.0)
+        assert "c_total 3\n" in reg.to_prometheus()
+
+    def test_fractional_values_keep_full_precision(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(0.1 + 0.2)
+        assert f"g {0.1 + 0.2!r}" in reg.to_prometheus()
+
+
+class TestDeterministicOrdering:
+    def test_families_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("zz_total").inc()
+        reg.counter("aa_total").inc()
+        text = reg.to_prometheus()
+        assert text.index("aa_total") < text.index("zz_total")
+
+    def test_children_sorted_by_label_set(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", gw="b").inc()
+        reg.counter("c_total", gw="a").inc()
+        text = reg.to_prometheus()
+        assert text.index('gw="a"') < text.index('gw="b"')
+
+    def test_label_keys_sorted_within_sample(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", zeta=1, alpha=2).set(1.0)
+        assert '{alpha="2",zeta="1"}' in reg.to_prometheus()
+
+    def test_registration_order_does_not_change_output(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x_total", gw=1).inc()
+        a.counter("y_total").inc(2)
+        b.counter("y_total").inc(2)
+        b.counter("x_total", gw=1).inc()
+        assert a.to_prometheus() == b.to_prometheus()
+
+
+class TestFamilyConflicts:
+    def test_help_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "number of retries")
+        with pytest.raises(ValueError):
+            reg.counter("c_total", "number of attempts")
+
+    def test_empty_help_never_conflicts(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "number of retries")
+        reg.counter("c_total")
+        reg.counter("c_total", "number of retries")
+
+    def test_first_nonempty_help_is_adopted(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total")
+        reg.counter("c_total", "late help")
+        assert "# HELP c_total late help" in reg.to_prometheus()
+
+    def test_kind_conflict_raises_even_without_help(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(ValueError):
+            reg.gauge("m")

@@ -1,0 +1,178 @@
+"""Tests for cross-run regression detection and trace diffing."""
+
+import json
+
+import pytest
+
+from repro.obs.regress import (
+    Tolerance,
+    compare_metrics,
+    compare_runs,
+    load_run_metrics,
+    metrics_from_bench,
+    metrics_from_result,
+    metrics_from_trace,
+    trace_diff,
+)
+
+TRACE_EVENTS = [
+    {"seq": 0, "type": "manifest", "schema": 1},
+    {"seq": 1, "type": "sim.run_start", "t": 0.0, "gateways": 1},
+    {"seq": 2, "type": "gw.lock_on", "t": 1.0, "gw": 0, "net": 1, "node": 7},
+    {"seq": 3, "type": "decoder.grant", "t": 1.0, "gw": 0, "dec": 0, "until": 2.0},
+    {"seq": 4, "type": "decoder.release", "t": 2.0, "gw": 0, "dec": 0},
+    {
+        "seq": 5,
+        "type": "gw.reception",
+        "t": 1.0,
+        "gw": 0,
+        "net": 1,
+        "node": 7,
+        "outcome": "received",
+    },
+    {"seq": 6, "type": "sim.run_end", "t": 60.0},
+]
+
+
+def _write_trace(path, events):
+    with open(path, "w") as fh:
+        for ev in events:
+            fh.write(json.dumps(ev) + "\n")
+    return str(path)
+
+
+class TestTolerance:
+    def test_exact_match_passes(self):
+        assert Tolerance().ok(5.0, 5.0)
+
+    def test_small_absolute_drift_passes(self):
+        assert Tolerance(rel_tol=0.0, abs_tol=0.5).ok(2.0, 2.4)
+
+    def test_relative_drift_within_bound_passes(self):
+        assert Tolerance(rel_tol=0.10).ok(100.0, 109.0)
+        assert not Tolerance(rel_tol=0.10).ok(100.0, 112.0)
+
+    def test_direction_agnostic(self):
+        tol = Tolerance(rel_tol=0.10)
+        assert tol.ok(100.0, 95.0) == tol.ok(95.0, 100.0)
+
+    def test_zero_versus_nonzero_fails(self):
+        assert not Tolerance(rel_tol=0.5).ok(0.0, 10.0)
+
+
+class TestCompareMetrics:
+    def test_missing_metric_always_fails(self):
+        checks = compare_metrics({"a": 1.0}, {})
+        assert len(checks) == 1
+        assert not checks[0]["ok"]
+        assert checks[0]["reason"] == "missing in one run"
+
+    def test_per_metric_tolerance_overrides_default(self):
+        checks = compare_metrics(
+            {"x": 100.0},
+            {"x": 140.0},
+            tolerances={"x": Tolerance(rel_tol=0.5)},
+            default=Tolerance(rel_tol=0.01),
+        )
+        assert checks[0]["ok"]
+
+    def test_checks_sorted_by_metric_name(self):
+        checks = compare_metrics({"b": 1.0, "a": 1.0}, {"b": 1.0, "a": 1.0})
+        assert [c["metric"] for c in checks] == ["a", "b"]
+
+
+class TestExtraction:
+    def test_metrics_from_trace(self):
+        m = metrics_from_trace(TRACE_EVENTS)
+        assert m["outcome_counts.received"] == 1.0
+        assert m["packets"] == 1.0
+        assert m["sim_runs"] == 1.0
+        assert m["occupancy_peak.gw0"] == pytest.approx(1.0)
+
+    def test_metrics_from_result_flattens_and_skips_volatile(self):
+        result = {
+            "prr": 0.9,
+            "ok": True,  # booleans are not metrics
+            "outcome_counts": {"received": 10, "collision": 2},
+            "bucketed_prr": [0.9, 0.8],
+            "manifest": {"wall_start": 123456.0},
+        }
+        m = metrics_from_result(result)
+        assert m["prr"] == 0.9
+        assert m["outcome_counts.received"] == 10.0
+        assert m["bucketed_prr[1]"] == 0.8
+        assert "ok" not in m
+        assert not any("manifest" in k for k in m)
+
+    def test_long_series_compare_on_mean_and_length(self):
+        m = metrics_from_result({"series": list(range(20))})
+        assert m["series.len"] == 20.0
+        assert m["series.mean"] == pytest.approx(9.5)
+
+    def test_metrics_from_bench_uses_latest_record(self):
+        records = [
+            {"events": 100, "event_counts": {"gw.lock_on": 40}},
+            {"events": 120, "event_counts": {"gw.lock_on": 50}},
+        ]
+        m = metrics_from_bench(records)
+        assert m["events"] == 120.0
+        assert m["event_counts.gw.lock_on"] == 50.0
+        assert metrics_from_bench([]) == {}
+
+
+class TestLoadAndCompareRuns:
+    def test_sniffs_all_three_kinds(self, tmp_path):
+        trace = _write_trace(tmp_path / "run.jsonl", TRACE_EVENTS)
+        result = tmp_path / "result.json"
+        result.write_text(json.dumps({"prr": 0.5}))
+        bench = tmp_path / "BENCH_x.json"
+        bench.write_text(json.dumps([{"events": 5}]))
+        assert load_run_metrics(trace)[0] == "trace"
+        assert load_run_metrics(str(result))[0] == "result"
+        assert load_run_metrics(str(bench))[0] == "bench"
+
+    def test_identical_runs_pass(self, tmp_path):
+        a = _write_trace(tmp_path / "a.jsonl", TRACE_EVENTS)
+        b = _write_trace(tmp_path / "b.jsonl", TRACE_EVENTS)
+        report = compare_runs(a, b)
+        assert report["status"] == "pass"
+        assert report["kind"] == "trace"
+        assert report["regressions"] == []
+        assert report["metrics_compared"] > 0
+
+    def test_injected_regression_fails(self, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps({"prr": 0.95, "offered": 100}))
+        b.write_text(json.dumps({"prr": 0.60, "offered": 100}))
+        report = compare_runs(str(a), str(b))
+        assert report["status"] == "fail"
+        assert [c["metric"] for c in report["regressions"]] == ["prr"]
+
+    def test_kind_mismatch_raises(self, tmp_path):
+        trace = _write_trace(tmp_path / "a.jsonl", TRACE_EVENTS)
+        result = tmp_path / "b.json"
+        result.write_text(json.dumps({"prr": 0.5}))
+        with pytest.raises(ValueError):
+            compare_runs(trace, str(result))
+
+
+class TestTraceDiff:
+    def test_identical_traces_diff_to_zero(self):
+        diff = trace_diff(TRACE_EVENTS, TRACE_EVENTS)
+        assert all(
+            entry["delta"] == 0.0 for entry in diff["outcome_counts"].values()
+        )
+        assert diff["packets"]["a"] == diff["packets"]["b"]
+
+    def test_outcome_shift_shows_up(self):
+        changed = [dict(ev) for ev in TRACE_EVENTS]
+        changed[5]["outcome"] = "collision"
+        diff = trace_diff(TRACE_EVENTS, changed)
+        assert diff["outcome_counts"]["received"]["delta"] == -1.0
+        assert diff["outcome_counts"]["collision"]["delta"] == 1.0
+
+    def test_event_count_asymmetry(self):
+        shorter = TRACE_EVENTS[:-2] + [TRACE_EVENTS[-1]]
+        diff = trace_diff(TRACE_EVENTS, shorter)
+        assert diff["event_counts"]["gw.reception"]["delta"] == -1.0

@@ -146,3 +146,88 @@ class TestCliObservability:
         assert main(["-v", "list"]) == 0
         assert main(["-q", "list"]) == 0
         assert main(["-vv", "list"]) == 0
+
+
+class TestCliHealthObservatory:
+    def _trace(self, tmp_path, name="a.jsonl", events=None):
+        path = tmp_path / name
+        events = events if events is not None else [
+            {"seq": 0, "type": "manifest", "schema": 1},
+            {"seq": 1, "type": "sim.run_start", "t": 0.0},
+            {"seq": 2, "type": "gw.lock_on", "t": 1.0, "gw": 0,
+             "net": 1, "node": 7},
+            {"seq": 3, "type": "gw.reception", "t": 1.0, "gw": 0,
+             "net": 1, "node": 7, "outcome": "received"},
+            {"seq": 4, "type": "sim.run_end", "t": 10.0},
+        ]
+        with open(path, "w") as fh:
+            for ev in events:
+                fh.write(json.dumps(ev) + "\n")
+        return path
+
+    def test_run_writes_health_report(self, tmp_path, capsys):
+        health = tmp_path / "health.json"
+        assert main(["run", "chaos", "--health", str(health)]) == 0
+        capsys.readouterr()
+        report = json.loads(health.read_text())
+        assert report["schema"] == 1
+        assert report["healthz"]["status"] in ("ok", "degraded", "critical")
+        rules = {a["rule"] for a in report["alerts"]}
+        assert "gateway_offline" in rules
+
+    def test_trace_diff_structured_output(self, tmp_path, capsys):
+        a = self._trace(tmp_path, "a.jsonl")
+        b = self._trace(tmp_path, "b.jsonl")
+        assert main(["trace", "diff", str(a), str(b)]) == 0
+        diff = json.loads(capsys.readouterr().out)
+        assert diff["outcome_counts"]["received"]["delta"] == 0.0
+        assert diff["packets"] == {"a": 1.0, "b": 1.0}
+
+    def test_regress_passes_on_identical_runs(self, tmp_path, capsys):
+        a = self._trace(tmp_path, "a.jsonl")
+        b = self._trace(tmp_path, "b.jsonl")
+        assert main(["regress", str(a), str(b)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["status"] == "pass"
+
+    def test_regress_fails_on_injected_regression(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps({"prr": 0.95}))
+        b.write_text(json.dumps({"prr": 0.50}))
+        out = tmp_path / "report.json"
+        assert main(
+            ["regress", str(a), str(b), "--json", str(out)]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "regression: prr" in captured.err
+        assert json.loads(out.read_text())["status"] == "fail"
+
+    def test_regress_per_metric_tolerance_rescues(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps({"prr": 0.95}))
+        b.write_text(json.dumps({"prr": 0.50}))
+        assert main(
+            ["regress", str(a), str(b), "--tol", "prr=0.8"]
+        ) == 0
+        capsys.readouterr()
+
+    def test_regress_rejects_bad_tol_spec(self, tmp_path, capsys):
+        a = self._trace(tmp_path, "a.jsonl")
+        assert main(["regress", str(a), str(a), "--tol", "oops"]) == 2
+        capsys.readouterr()
+
+    def test_watch_once_renders_dashboard(self, tmp_path, capsys):
+        trace = self._trace(tmp_path)
+        assert main(["watch", "--trace", str(trace), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "health:" in out
+        assert "gw0" in out
+
+    def test_regress_kind_mismatch_fails_cleanly(self, tmp_path, capsys):
+        trace = self._trace(tmp_path, "a.jsonl")
+        result = tmp_path / "b.json"
+        result.write_text(json.dumps({"prr": 0.5}))
+        assert main(["regress", str(trace), str(result)]) == 2
+        assert "regress:" in capsys.readouterr().err
