@@ -555,7 +555,9 @@ class HealthMonitor:
         elif etype == EventType.DECODER_GRANT:
             state.grant(t, float(fields.get("until", t)), int(fields.get("dec", 0)))
         elif etype == EventType.DECODER_REJECT:
-            state.lock_ons.add(t)
+            # The engine emits GW_LOCK_ON for every detection, rejected
+            # ones included, so a reject must not count as a second
+            # lock-on or contention_rate would saturate at 0.5.
             state.rejects.add(t)
         elif etype == EventType.GW_RECEPTION:
             outcome = str(fields.get("outcome", ""))
@@ -696,8 +698,11 @@ class HealthMonitor:
         if open_.fired_s is None:
             # Pending: either the condition healed, or it has now held
             # long enough to fire (at the deterministic breach+for_s
-            # instant, not the evaluation instant).
-            if rule.cleared(value):
+            # instant, not the evaluation instant).  A pending alert
+            # resets as soon as the value drops below the *threshold* —
+            # the hysteresis `clear` level only keeps already-fired
+            # alerts from flapping; Prometheus `for` semantics.
+            if not rule.breached(value):
                 del self._open[key]
             elif now_s - open_.pending_since_s >= rule.for_s:
                 open_.fired_s = open_.pending_since_s + rule.for_s

@@ -55,8 +55,9 @@ class HealthHTTPExporter:
             defaults to the active session monitor.
         health_sources: Extra named payloads merged into ``/healthz``
             under ``"sources"`` — a source reporting ``degraded: true``
-            (or ``status`` other than ``"ok"``) downgrades the overall
-            status to at least ``degraded``.
+            (or a ``status`` of ``"degraded"``/``"critical"``/
+            ``"error"``) downgrades the overall status to at least
+            ``degraded``; other status strings are informational.
         host / port: Bind address (port 0 = ephemeral).
     """
 
@@ -187,10 +188,12 @@ class HealthHTTPExporter:
                 except Exception as exc:
                     snapshot = {"status": "error", "error": str(exc)}
                 sources[name] = snapshot
-                source_status = snapshot.get("status", "ok")
+                # Only explicit negative signals downgrade the overall
+                # status; benign strings like "running" must not 503.
+                source_status = str(snapshot.get("status", "")).lower()
                 if (
                     snapshot.get("degraded")
-                    or source_status not in ("ok", "status_ok")
+                    or source_status in ("degraded", "critical", "error")
                 ) and payload["status"] == "ok":
                     payload["status"] = "degraded"
             payload["sources"] = sources

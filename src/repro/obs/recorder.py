@@ -63,8 +63,16 @@ class TraceRecorder:
         that storage drops — so streaming aggregators (the health
         monitor) work on count-only recorders.  They are invoked outside
         the storage lock; a listener needing exclusion locks itself.
+
+        Register listeners before emission starts.  With concurrent
+        emitters (Master worker threads) the delivery order across
+        threads is unspecified and may differ from storage ``seq``
+        order; byte-identical downstream aggregates are guaranteed only
+        for single-threaded emission (sim runs), where delivery order
+        equals storage order.
         """
-        self._listeners.append(listener)
+        with self._lock:
+            self._listeners.append(listener)
 
     def emit(self, etype: str, t: Optional[float] = None, **fields: Any) -> None:
         """Append one event (thread-safe)."""
@@ -75,7 +83,10 @@ class TraceRecorder:
             else:
                 self._seq += 1
                 self.events.append(TraceEvent(self._seq, etype, t, fields))
-        for listener in self._listeners:
+            # Snapshot under the lock so a concurrent add_listener never
+            # mutates the list an in-flight emit is iterating.
+            listeners = tuple(self._listeners)
+        for listener in listeners:
             listener(etype, t, fields)
 
     def next_run_index(self) -> int:

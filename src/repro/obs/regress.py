@@ -166,7 +166,7 @@ def load_run_metrics(path: str) -> Tuple[str, Dict[str, float]]:
     ``result``, or ``bench``.
     """
     with open(path) as fh:
-        head = fh.read(1).lstrip()
+        head = fh.read(64).lstrip()[:1]
     if head == "[":
         with open(path) as fh:
             records = json.load(fh)
@@ -176,7 +176,14 @@ def load_run_metrics(path: str) -> Tuple[str, Dict[str, float]]:
             payload = json.load(fh)
     except json.JSONDecodeError:
         payload = None
+    if isinstance(payload, list):
+        # A JSON array that slipped past the head sniff (e.g. odd
+        # whitespace): still a benchmark trajectory.
+        return "bench", metrics_from_bench(payload)
     if isinstance(payload, Mapping):
+        if payload.get("type") == EventType.MANIFEST:
+            # A one-line JSONL trace (manifest only, no events yet).
+            return "trace", metrics_from_trace([payload])
         return "result", metrics_from_result(payload)
     # Multi-line JSONL: a recorded trace.
     return "trace", metrics_from_trace(load_trace(path))

@@ -176,6 +176,86 @@ class TestHealthMonitor:
         assert a["fired_s"] == pytest.approx(a["pending_since_s"] + 5.0)
         assert a["active"]
 
+    def test_engine_shaped_rejects_reach_full_contention(self):
+        # The engine emits GW_LOCK_ON for *every* detection — rejected
+        # ones included — and then DECODER_REJECT when the pool is
+        # full.  A fully-contended gateway must therefore read
+        # contention_rate == 1.0 (not 0.5 from double-counting the
+        # reject as an extra lock-on), and the default
+        # decoder_contention_high rule (> 0.5) must be able to fire.
+        events = []
+        for i in range(20):
+            t = float(i)
+            events.append(
+                {"seq": 2 * i + 1, "type": EventType.GW_LOCK_ON, "t": t, "gw": 0}
+            )
+            events.append(
+                {
+                    "seq": 2 * i + 2,
+                    "type": EventType.DECODER_REJECT,
+                    "t": t,
+                    "gw": 0,
+                    "blockers": [],
+                }
+            )
+        m = HealthMonitor(window_s=100.0).replay(events)
+        sample = m.gateway_health()["gw0"]["sample"]
+        assert sample["contention_rate"] == pytest.approx(1.0)
+        fired = [
+            a for a in m.alerts() if a["rule"] == "decoder_contention_high"
+        ]
+        assert len(fired) == 1
+        assert fired[0]["active"]
+
+    def test_pending_alert_resets_below_threshold_despite_clear_level(self):
+        # Prometheus `for` semantics: hysteresis (`clear`) applies only
+        # to *fired* alerts.  A pending alert whose value drops back
+        # under the threshold — even while still above `clear` — must
+        # reset its hold-down instead of accumulating toward for_s.
+        rule = AlertRule(
+            "drops_high", metric="drop_ratio", op=">",
+            threshold=0.9, for_s=30.0, clear=0.7, scope="gateway",
+        )
+        m = HealthMonitor(rules=(rule,), window_s=1000.0)
+        for i in range(10):
+            m.observe_event(
+                EventType.GW_RECEPTION, float(i), {"gw": 0, "outcome": "no_decoder"}
+            )
+        # drop_ratio 1.0: the rule goes pending.
+        for t in (15.0, 16.0):
+            m.observe_event(
+                EventType.GW_RECEPTION, t, {"gw": 0, "outcome": "received"}
+            )
+        # Now 10/12 ≈ 0.83: below threshold but above clear — hovers.
+        m.advance_gateway(0, 60.0)  # far past pending_since + for_s
+        m.evaluate()
+        assert m.alerts() == []
+
+    def test_fired_alert_keeps_hysteresis_between_clear_and_threshold(self):
+        rule = AlertRule(
+            "drops_high", metric="drop_ratio", op=">",
+            threshold=0.9, for_s=0.0, clear=0.7, scope="gateway",
+        )
+        m = HealthMonitor(rules=(rule,), window_s=1000.0)
+        for i in range(10):
+            m.observe_event(
+                EventType.GW_RECEPTION, float(i), {"gw": 0, "outcome": "no_decoder"}
+            )
+        m.evaluate()
+        assert [a["active"] for a in m.alerts()] == [True]
+        for t in (15.0, 16.0):
+            m.observe_event(
+                EventType.GW_RECEPTION, t, {"gw": 0, "outcome": "received"}
+            )
+        m.evaluate()  # 10/12 ≈ 0.83: in the hysteresis band, stays firing
+        assert m.alerts()[0]["active"]
+        for i in range(5):
+            m.observe_event(
+                EventType.GW_RECEPTION, 20.0 + i, {"gw": 0, "outcome": "received"}
+            )
+        m.evaluate()  # 10/17 ≈ 0.59: below clear, resolves
+        assert not m.alerts()[0]["active"]
+
     def test_pending_alert_heals_without_firing(self):
         rule = AlertRule(
             "contention", metric="contention_rate", op=">",

@@ -98,6 +98,27 @@ class TestEndpoints:
         assert payload["status"] == "degraded"
         assert payload["sources"]["master"]["phase"] == "outage"
 
+    def test_benign_source_status_string_stays_ok(self):
+        # Informational status strings ("running", "idle", ...) must
+        # not flip /healthz to 503; only explicit negative signals do.
+        sources = {"master": lambda: {"status": "running", "uptime_s": 5}}
+        with HealthHTTPExporter(
+            monitor=HealthMonitor(), health_sources=sources
+        ) as exporter:
+            status, body = _get(exporter.url + "/healthz")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+
+    @pytest.mark.parametrize("bad", ["degraded", "critical", "error"])
+    def test_negative_source_status_downgrades(self, bad):
+        sources = {"master": lambda: {"status": bad}}
+        with HealthHTTPExporter(
+            monitor=HealthMonitor(), health_sources=sources
+        ) as exporter:
+            status, body = _get(exporter.url + "/healthz")
+        assert status == 503
+        assert json.loads(body)["status"] == "degraded"
+
     def test_crashing_health_source_reports_error(self):
         def boom():
             raise RuntimeError("snapshot failed")

@@ -131,6 +131,22 @@ class TestLoadAndCompareRuns:
         assert load_run_metrics(str(result))[0] == "result"
         assert load_run_metrics(str(bench))[0] == "bench"
 
+    def test_bench_with_leading_whitespace_sniffs_as_bench(self, tmp_path):
+        bench = tmp_path / "BENCH_ws.json"
+        bench.write_text("\n  " + json.dumps([{"events": 5}]))
+        kind, metrics = load_run_metrics(str(bench))
+        assert kind == "bench"
+        assert metrics["events"] == 5.0
+
+    def test_manifest_only_trace_sniffs_as_trace(self, tmp_path):
+        # A freshly-started trace holds only its manifest line — one
+        # JSON object, which must not be mistaken for a result file.
+        path = tmp_path / "fresh.jsonl"
+        path.write_text(json.dumps({"type": "manifest", "schema": 1}) + "\n")
+        kind, metrics = load_run_metrics(str(path))
+        assert kind == "trace"
+        assert metrics["events"] == 0.0
+
     def test_identical_runs_pass(self, tmp_path):
         a = _write_trace(tmp_path / "a.jsonl", TRACE_EVENTS)
         b = _write_trace(tmp_path / "b.jsonl", TRACE_EVENTS)
