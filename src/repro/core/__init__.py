@@ -44,8 +44,22 @@ from .intra_planner import (
     PlannerConfig,
     build_cp_input,
 )
+from .journal import (
+    FailingJournal,
+    JournalCorruptError,
+    JournalError,
+    StateJournal,
+    read_snapshot,
+    write_snapshot,
+)
 from .log_parser import ParseStats, parse_log, parse_log_line
-from .master import Assignment, MasterNode, RegionFullError
+from .master import (
+    Assignment,
+    LeaseError,
+    MasterNode,
+    MasterReadOnlyError,
+    RegionFullError,
+)
 from .master_client import MasterClient, MasterRequestError
 from .master_server import MasterServer
 from .protocol import (
@@ -69,7 +83,10 @@ __all__ = [
     "misaligned_grids", "misalignment_for",
     "IntraNetworkPlanner", "PlanOutcome", "PlannerConfig", "build_cp_input",
     "ParseStats", "parse_log", "parse_log_line",
-    "Assignment", "MasterNode", "RegionFullError",
+    "FailingJournal", "JournalCorruptError", "JournalError", "StateJournal",
+    "read_snapshot", "write_snapshot",
+    "Assignment", "LeaseError", "MasterNode", "MasterReadOnlyError",
+    "RegionFullError",
     "MasterClient", "MasterRequestError",
     "MasterServer",
     "MAX_MESSAGE_BYTES", "ProtocolError", "encode_message", "read_message",

@@ -43,7 +43,17 @@ _TRANSIENT_ERRORS = (OSError, ProtocolError)
 
 
 class MasterRequestError(Exception):
-    """The Master rejected a request (e.g. region full)."""
+    """The Master rejected a request (e.g. region full).
+
+    Attributes:
+        code: Machine-readable error code from the wire (``region_full``,
+            ``degraded``, ``lease_stale``, ``unknown_operator``,
+            ``bad_request``, ``unknown_type``).
+    """
+
+    def __init__(self, message: str, code: str = "error") -> None:
+        super().__init__(message)
+        self.code = code
 
 
 class MasterClient:
@@ -73,6 +83,10 @@ class MasterClient:
         self.timeout_s = timeout_s
         self.retry = retry
         self._rng = random.Random(retry_seed)
+        # Request-id stream, separate from the backoff jitter stream so
+        # adding ids does not perturb existing deterministic backoffs.
+        self._id_rng = random.Random(retry_seed ^ 0x5DEECE66D)
+        self._request_seq = 0
         self._sleep = sleep
         self._sock: Optional[socket.socket] = None
         self.last_rtt_s: Optional[float] = None
@@ -148,7 +162,10 @@ class MasterClient:
                 rtt_wall_s=rtt_wall_s,
             )
         if response.get("type") == "error":
-            raise MasterRequestError(response.get("message", "unknown error"))
+            raise MasterRequestError(
+                str(response.get("message", "unknown error")),
+                code=str(response.get("code", "error")),
+            )
         return response
 
     def _roundtrip(self, message: Dict) -> Dict:
@@ -207,24 +224,64 @@ class MasterClient:
             f" attempt(s): {last_error}"
         ) from last_error
 
+    def _next_request_id(self, operator: str) -> str:
+        """A fresh id for one logical request (reused across retries)."""
+        self._request_seq += 1
+        nonce = self._id_rng.getrandbits(48)
+        return f"{operator}:{self._request_seq}:{nonce:012x}"
+
     def register(self, operator: str) -> Assignment:
         """Register this operator; returns its channel assignment.
 
-        Safe to retry: the Master's registration is idempotent, so a
-        re-sent request after a mid-exchange failure returns the same
-        (or a freshly minted, equally valid) assignment.
+        Exactly-once over a lossy wire: the request carries a
+        client-generated ``request_id`` built once per logical call, so
+        every retry of this exchange re-sends the *same* id.  The
+        Master journals completions by id — a retry that reaches a
+        restarted Master (which already applied the original) is
+        answered from the journal instead of allocating a second slot.
         """
-        response = self._roundtrip({"type": "register", "operator": operator})
+        message = {
+            "type": "register",
+            "operator": operator,
+            "request_id": self._next_request_id(operator),
+        }
+        response = self._roundtrip(message)
         if response.get("type") != "assignment":
             raise ProtocolError(f"unexpected response {response.get('type')!r}")
         return assignment_from_wire(response)
 
     def release(self, operator: str) -> bool:
-        """Release this operator's slot; True if it was held."""
-        response = self._roundtrip({"type": "release", "operator": operator})
+        """Release this operator's slot; True if it was held.
+
+        Carries a ``request_id`` like :meth:`register`, so a retried
+        release reports the original ``held`` outcome instead of the
+        second attempt's inevitable ``False``.
+        """
+        message = {
+            "type": "release",
+            "operator": operator,
+            "request_id": self._next_request_id(operator),
+        }
+        response = self._roundtrip(message)
         if response.get("type") != "released":
             raise ProtocolError(f"unexpected response {response.get('type')!r}")
         return bool(response.get("held"))
+
+    def resume(self, operator: str, lease: str) -> Assignment:
+        """Revalidate a held lease after a disconnect or Master restart.
+
+        Read-only at the Master (works even in degraded mode).  Returns
+        the current assignment — whose ``epoch`` reveals whether the
+        Master has been through a recovery since the lease was minted.
+        Raises :class:`MasterRequestError` with code ``lease_stale`` or
+        ``unknown_operator`` when the lease no longer matches.
+        """
+        response = self._roundtrip(
+            {"type": "resume", "operator": operator, "lease": lease}
+        )
+        if response.get("type") != "resumed":
+            raise ProtocolError(f"unexpected response {response.get('type')!r}")
+        return assignment_from_wire(response)
 
     def status(self) -> Dict:
         """Fetch the region occupancy snapshot."""

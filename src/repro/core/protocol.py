@@ -3,14 +3,28 @@
 Length-prefixed JSON over TCP: each message is a 4-byte big-endian
 unsigned length followed by a UTF-8 JSON object.  Message types:
 
-* ``register``   {"type": "register", "operator": str}
-* ``release``    {"type": "release", "operator": str}
+* ``register``   {"type": "register", "operator": str,
+  "request_id": str?}
+* ``release``    {"type": "release", "operator": str,
+  "request_id": str?}
+* ``resume``     {"type": "resume", "operator": str, "lease": str}
 * ``status``     {"type": "status"}
 * ``assignment`` {"type": "assignment", "operator", "slot", "shift_hz",
-  "grid": {"start_hz", "width_hz", "spacing_hz", "bandwidth_hz"}}
+  "grid": {"start_hz", "width_hz", "spacing_hz", "bandwidth_hz"},
+  "lease": str, "epoch": int}
+* ``resumed``    — same payload as ``assignment`` (lease revalidated)
 * ``released``   {"type": "released", "operator", "held": bool}
 * ``status_ok``  {"type": "status_ok", ...snapshot}
-* ``error``      {"type": "error", "message": str}
+* ``error``      {"type": "error", "message": str, "code": str}
+
+``request_id`` is a client-generated token reused verbatim across
+retries of one logical request; the Master journals completions by it,
+so a retry reaching a restarted Master is answered from the journal
+instead of re-executing (exactly-once over a lossy wire).  ``lease`` /
+``epoch`` are the durability tokens described in ``DESIGN.md`` §11.
+Error ``code`` is machine-readable: ``region_full``, ``degraded``
+(Master read-only), ``lease_stale``, ``unknown_operator``,
+``bad_request``, or ``unknown_type``.
 """
 
 from __future__ import annotations
@@ -66,12 +80,25 @@ def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
     return b"".join(chunks)
 
 
-def read_message(sock: socket.socket) -> Optional[Dict]:
+def read_message(
+    sock: socket.socket, timeout_s: Optional[float] = None
+) -> Optional[Dict]:
     """Read one message from a socket; ``None`` on clean EOF.
+
+    Args:
+        timeout_s: Optional receive deadline applied to the socket for
+            this read.  A peer that stays silent past it raises
+            ``socket.timeout`` (an ``OSError``), letting servers reap
+            hung or half-open connections instead of pinning a handler
+            thread forever.  ``None`` leaves the socket's own timeout
+            untouched.
 
     Raises:
         ProtocolError: on truncation, oversized frames, or bad JSON.
+        socket.timeout: when ``timeout_s`` elapses with no data.
     """
+    if timeout_s is not None:
+        sock.settimeout(timeout_s)
     header = _recv_exact(sock, _HEADER.size)
     if header is None:
         return None
@@ -127,11 +154,17 @@ def assignment_to_wire(assignment: Assignment) -> Dict:
         "shift_hz": assignment.shift_hz,
         "grid": grid_to_wire(assignment.grid),
         "channel_indices": list(assignment.channel_indices),
+        "lease": assignment.lease,
+        "epoch": assignment.epoch,
     }
 
 
 def assignment_from_wire(data: Dict) -> Assignment:
-    """Deserialize an assignment response."""
+    """Deserialize an assignment response.
+
+    ``lease`` / ``epoch`` default when absent, so caches persisted by
+    pre-durability versions still load.
+    """
     try:
         return Assignment(
             operator=str(data["operator"]),
@@ -139,6 +172,8 @@ def assignment_from_wire(data: Dict) -> Assignment:
             shift_hz=float(data["shift_hz"]),
             grid=grid_from_wire(data["grid"]),
             channel_indices=tuple(int(i) for i in data["channel_indices"]),
+            lease=str(data.get("lease", "")),
+            epoch=int(data.get("epoch", 0)),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise ProtocolError(f"invalid assignment payload: {exc}")

@@ -11,16 +11,22 @@ The package has three pieces:
   confirmed-uplink backoff), plus :class:`MasterUnavailableError`.
 * :mod:`repro.faults.cache` — :class:`AssignmentCache`, the last-known
   channel assignment served in degraded mode when the Master is down.
+* :mod:`repro.faults.drill` — :func:`run_drill`, the failover drill
+  that kills and restarts the Master mid-campaign and asserts its
+  crash-safety invariants (no lost or duplicated assignments, bounded
+  recovery time).
 """
 
 from __future__ import annotations
 
 from .cache import AssignmentCache
+from .drill import DrillReport, run_drill
 from .plan import (
     BackhaulFault,
     DecoderDegradation,
     FaultPlan,
     GatewayCrash,
+    MasterCrash,
     MasterOutage,
     union_length_s,
 )
@@ -30,11 +36,14 @@ __all__ = [
     "AssignmentCache",
     "BackhaulFault",
     "DecoderDegradation",
+    "DrillReport",
     "FaultPlan",
     "GatewayCrash",
+    "MasterCrash",
     "MasterOutage",
     "union_length_s",
     "MasterUnavailableError",
     "RetransmitPolicy",
     "RetryPolicy",
+    "run_drill",
 ]

@@ -27,6 +27,7 @@ __all__ = [
     "GatewayCrash",
     "BackhaulFault",
     "MasterOutage",
+    "MasterCrash",
     "DecoderDegradation",
     "FaultPlan",
     "union_length_s",
@@ -111,6 +112,30 @@ class MasterOutage:
 
 
 @dataclass(frozen=True)
+class MasterCrash:
+    """The Master process dies right after applying its Nth request.
+
+    Unlike a :class:`MasterOutage` (a time window during which requests
+    vanish), a crash is request-counted and *asymmetric*: request
+    number ``at_request`` is journaled and committed, but the process
+    dies before the reply leaves the socket.  That is the window where
+    a client retry would double-allocate spectrum if the restarted
+    Master did not answer replays from its journal — precisely what the
+    failover drill (``repro.tools drill``) asserts cannot happen.
+
+    Attributes:
+        at_request: 1-based count of requests read off the wire; the
+            crash fires after this request is applied.
+    """
+
+    at_request: int
+
+    def __post_init__(self) -> None:
+        if self.at_request < 1:
+            raise ValueError("crash point must be a positive request count")
+
+
+@dataclass(frozen=True)
 class DecoderDegradation:
     """A gateway's decoder pool shrinks to ``decoders`` at ``time_s``.
 
@@ -180,6 +205,7 @@ class FaultPlan:
         gateway_crashes: Gateway crash/reboot schedule.
         backhaul_faults: Backhaul drop/delay windows.
         master_outages: Windows during which the Master is unreachable.
+        master_crashes: Request-counted Master crash-restart points.
         decoder_degradations: Decoder-pool shrink events.
     """
 
@@ -187,6 +213,7 @@ class FaultPlan:
     gateway_crashes: Tuple[GatewayCrash, ...] = ()
     backhaul_faults: Tuple[BackhaulFault, ...] = ()
     master_outages: Tuple[MasterOutage, ...] = ()
+    master_crashes: Tuple[MasterCrash, ...] = ()
     decoder_degradations: Tuple[DecoderDegradation, ...] = ()
 
     # -- queries -----------------------------------------------------------
@@ -269,6 +296,9 @@ class FaultPlan:
             ),
             master_outages=tuple(
                 MasterOutage(**o) for o in data.get("master_outages", ())
+            ),
+            master_crashes=tuple(
+                MasterCrash(**c) for c in data.get("master_crashes", ())
             ),
             decoder_degradations=tuple(
                 DecoderDegradation(**d)

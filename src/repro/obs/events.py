@@ -55,6 +55,11 @@ class EventType:
     MASTER_RETRY = "master.retry"
     MASTER_UNAVAILABLE = "master.unavailable"
     MASTER_DROPPED = "master.dropped"
+    # Durability / recovery layer (DESIGN.md §11).
+    MASTER_CRASH = "master.crash"
+    MASTER_RECOVERED = "master.recovered"
+    MASTER_READONLY = "master.readonly"
+    MASTER_CONN_REAPED = "master.conn_reaped"
 
     # Network server.
     NETSERVER_UPLINK = "netserver.uplink"

@@ -329,6 +329,16 @@ DEFAULT_RULES: Tuple[AlertRule, ...] = (
         description="backhaul delay EWMA above half a second",
     ),
     AlertRule(
+        "master_readonly",
+        metric="master_readonly_rate",
+        op=">",
+        threshold=0.0,
+        for_s=0.0,
+        severity="critical",
+        scope="global",
+        description="Master journal unavailable; mutations rejected (read-only mode)",
+    ),
+    AlertRule(
         "master_unreachable",
         metric="master_dropped_rate",
         op=">",
@@ -537,6 +547,10 @@ class HealthMonitor:
                 EventType.MASTER_DROPPED,
                 EventType.MASTER_UNAVAILABLE,
                 EventType.MASTER_RETRY,
+                EventType.MASTER_READONLY,
+                EventType.MASTER_CRASH,
+                EventType.MASTER_RECOVERED,
+                EventType.MASTER_CONN_REAPED,
                 EventType.NETSERVER_DEGRADED,
             ):
                 self._ingest_global(etype)
@@ -578,6 +592,10 @@ class HealthMonitor:
         EventType.MASTER_DROPPED: "master_dropped",
         EventType.MASTER_UNAVAILABLE: "master_unavailable",
         EventType.MASTER_RETRY: "master_retries",
+        EventType.MASTER_READONLY: "master_readonly",
+        EventType.MASTER_CRASH: "master_crashes",
+        EventType.MASTER_RECOVERED: "master_recoveries",
+        EventType.MASTER_CONN_REAPED: "master_conns_reaped",
         EventType.NETSERVER_DEGRADED: "degraded_syncs",
     }
 
@@ -648,6 +666,7 @@ class HealthMonitor:
                 for key, window in self._global_windows.items()
             }
             sample.setdefault("master_dropped_rate", 0.0)
+            sample.setdefault("master_readonly_rate", 0.0)
             sample.setdefault("degraded_sync_rate", 0.0)
             if self._gateways:
                 offline = sum(

@@ -144,13 +144,21 @@ def metrics_from_result(result: Mapping[str, Any]) -> Dict[str, float]:
 
 
 def metrics_from_bench(records: Sequence[Mapping[str, Any]]) -> Dict[str, float]:
-    """Comparable scalars from the *latest* BENCH_*.json record."""
+    """Comparable scalars from the *latest* BENCH_*.json record.
+
+    ``events`` may be a plain count (simulation benches) or a mapping
+    of named scalars (e.g. the failover drill's invariants); mappings
+    are flattened with the usual volatile-key filter, so wall-clock
+    entries like ``recovery_wall_s`` never gate a comparison.
+    """
     if not records:
         return {}
     last = records[-1]
     out: Dict[str, float] = {}
     if isinstance(last.get("events"), (int, float)):
         out["events"] = float(last["events"])
+    elif isinstance(last.get("events"), Mapping):
+        _flatten_numeric(last["events"], "events", out)
     counts = last.get("event_counts")
     if isinstance(counts, Mapping):
         for etype, n in counts.items():

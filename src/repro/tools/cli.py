@@ -12,6 +12,7 @@ Usage::
     python -m repro.tools trace diff a.jsonl b.jsonl
     python -m repro.tools regress a.jsonl b.jsonl --rel-tol 0.1
     python -m repro.tools watch --trace chaos.jsonl --once
+    python -m repro.tools drill --seed 7 --max-recovery-s 2.0
     python -m repro.tools lint src tests --format json
     python -m repro.tools lint --baseline lint-baseline.json
 
@@ -22,7 +23,10 @@ snapshot.  ``render`` draws the headline series as an ASCII chart.
 ``trace`` inspects a previously written JSONL trace (``diff`` compares
 two).  ``regress`` compares two run artifacts against tolerances and
 exits non-zero on drift.  ``watch`` renders a live health dashboard
-from an exporter URL or a growing trace file.  ``lint`` runs the
+from an exporter URL or a growing trace file.  ``drill`` runs the
+Master failover drill (:func:`repro.faults.drill.run_drill`): crash
+the Master mid-campaign, recover from snapshot + journal, exit
+non-zero if any crash-safety invariant fails.  ``lint`` runs the
 determinism & invariant linter (:mod:`repro.lint`) over the tree.
 """
 
@@ -31,6 +35,7 @@ from __future__ import annotations
 import argparse
 import inspect
 import json
+import os
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -271,6 +276,104 @@ def _regress_command(args) -> int:
     return 0
 
 
+def _drill_bench_record(manifest, report, session) -> Dict:
+    """One BENCH-trajectory record for a failover drill run.
+
+    Matches the ``benchmarks/`` format ({date, duration_s, events,
+    event_counts}); everything under ``events`` except the wall-clock
+    recovery time is seed-deterministic, so ``regress`` can gate on it.
+    """
+    counts: Dict[str, int] = {}
+    if session.recorder is not None:
+        for ev in session.recorder.events:
+            counts[ev.etype] = counts.get(ev.etype, 0) + 1
+    return {
+        "date": manifest["started_at"],
+        "duration_s": manifest["wall_time_s"],
+        "events": {
+            "operators": report.operators,
+            "crash_at_request": report.crash_at_request,
+            "journal_ops": report.journal_ops,
+            "duplicate_grants": report.duplicate_grants,
+            "lost_assignments": report.lost_assignments,
+            "resumes_ok": report.resumes_ok,
+            "epoch_after": report.epoch_after,
+            "client_retries": report.client_retries,
+            "recovery_wall_s": report.recovery_wall_s,
+            "passed": int(report.passed),
+        },
+        "event_counts": counts,
+    }
+
+
+def _drill_command(args) -> int:
+    from ..faults.drill import run_drill
+    from ..phy.regions import TESTBED_16
+
+    watch = Stopwatch()
+    manifest = build_manifest(
+        experiment="drill",
+        seed=args.seed,
+        config={
+            "seed": args.seed,
+            "operators": args.operators,
+            "crash_at": args.crash_at,
+            "snapshot_after": args.snapshot_after,
+        },
+    )
+    with observe(
+        trace=True,
+        metrics=bool(args.metrics_path),
+        spans=False,
+        health=False,
+        manifest=manifest,
+    ) as session:
+        report = run_drill(
+            TESTBED_16.grid(),
+            out_dir=args.out_dir,
+            seed=args.seed,
+            operators=args.operators,
+            crash_at_request=args.crash_at,
+            snapshot_after=args.snapshot_after,
+            max_recovery_s=args.max_recovery_s,
+        )
+    manifest["wall_time_s"] = watch.elapsed_s()
+    if args.trace_path and session.recorder is not None:
+        session.recorder.manifest["wall_time_s"] = manifest["wall_time_s"]
+        session.recorder.write_jsonl(args.trace_path)
+        print(
+            f"wrote {args.trace_path} ({len(session.recorder)} events)",
+            file=sys.stderr,
+        )
+    if args.metrics_path and session.metrics is not None:
+        session.metrics.write_prometheus(args.metrics_path)
+        print(f"wrote {args.metrics_path}", file=sys.stderr)
+    if args.bench_path:
+        history = []
+        if os.path.exists(args.bench_path):
+            with open(args.bench_path) as fh:
+                history = json.load(fh)
+        history.append(_drill_bench_record(manifest, report, session))
+        with open(args.bench_path, "w") as fh:
+            json.dump(history, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.bench_path}", file=sys.stderr)
+    result = report.to_dict()
+    result["manifest"] = manifest
+    payload = json.dumps(result, indent=2, default=str)
+    if args.json_path:
+        with open(args.json_path, "w") as fh:
+            fh.write(payload + "\n")
+        print(f"wrote {args.json_path}", file=sys.stderr)
+    else:
+        print(payload)
+    if not report.passed:
+        for failure in report.failures:
+            print(f"drill failure: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -416,6 +519,66 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="render a single frame and exit (same as --frames 1)",
     )
 
+    drill_p = sub.add_parser(
+        "drill",
+        help="failover drill: crash + recover the Master, assert safety",
+    )
+    drill_p.add_argument("--seed", type=int, default=0)
+    drill_p.add_argument(
+        "--operators", type=int, default=6, help="fleet size (default 6)"
+    )
+    drill_p.add_argument(
+        "--crash-at",
+        dest="crash_at",
+        type=int,
+        default=4,
+        help="request number the Master dies on (applied, unreplied)",
+    )
+    drill_p.add_argument(
+        "--snapshot-after",
+        dest="snapshot_after",
+        type=int,
+        default=2,
+        help="snapshot after this many registers (0 = journal-only)",
+    )
+    drill_p.add_argument(
+        "--max-recovery-s",
+        dest="max_recovery_s",
+        type=float,
+        default=None,
+        help="fail the drill if recovery exceeds this wall-clock budget",
+    )
+    drill_p.add_argument(
+        "--out-dir",
+        dest="out_dir",
+        default="drill-artifacts",
+        help="scratch directory for the journal and snapshot",
+    )
+    drill_p.add_argument(
+        "--trace",
+        dest="trace_path",
+        default=None,
+        help="write the drill's JSONL event trace here",
+    )
+    drill_p.add_argument(
+        "--metrics",
+        dest="metrics_path",
+        default=None,
+        help="write a Prometheus-text metrics snapshot here",
+    )
+    drill_p.add_argument(
+        "--bench",
+        dest="bench_path",
+        default=None,
+        help="append a BENCH-trajectory record to this JSON file",
+    )
+    drill_p.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        help="write the drill report to this file instead of stdout",
+    )
+
     lint_p = sub.add_parser(
         "lint", help="run the determinism & invariant linter"
     )
@@ -463,6 +626,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             interval_s=args.interval_s,
             frames=1 if args.once else args.frames,
         )
+
+    if args.command == "drill":
+        return _drill_command(args)
 
     if args.command == "lint":
         return run_lint(args)

@@ -1,0 +1,143 @@
+"""StateJournal: checksummed WAL lines, torn tails, atomic snapshots."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.journal import (
+    FailingJournal,
+    JournalCorruptError,
+    JournalError,
+    StateJournal,
+    decode_record,
+    encode_record,
+    read_snapshot,
+    write_snapshot,
+)
+
+
+class TestRecordCodec:
+    def test_roundtrip(self):
+        record = {"kind": "op", "seq": 3, "op": "register", "slot": 1}
+        assert decode_record(encode_record(record)) == record
+
+    def test_checksum_covers_canonical_form(self):
+        # Key order must not matter: both spellings carry the same CRC.
+        a = encode_record({"x": 1, "y": 2})
+        b = encode_record({"y": 2, "x": 1})
+        assert a == b
+
+    def test_flipped_byte_detected(self):
+        line = encode_record({"kind": "op", "seq": 1})
+        tampered = line.replace('"seq":1', '"seq":2')
+        with pytest.raises(JournalCorruptError):
+            decode_record(tampered)
+
+    def test_garbage_line_detected(self):
+        with pytest.raises(JournalCorruptError):
+            decode_record("{not json")
+
+    def test_record_may_not_carry_own_crc(self):
+        with pytest.raises(ValueError):
+            encode_record({"crc": "deadbeef"})
+
+
+class TestStateJournal:
+    def test_append_and_replay(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with StateJournal(path) as journal:
+            journal.append({"seq": 1, "op": "register"})
+            journal.append({"seq": 2, "op": "release"})
+        records = StateJournal.replay(path)
+        assert [r["seq"] for r in records] == [1, 2]
+
+    def test_replay_missing_file_is_empty(self, tmp_path):
+        assert StateJournal.replay(str(tmp_path / "nope.jsonl")) == []
+
+    def test_torn_tail_dropped_with_earlier_records_kept(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with StateJournal(path) as journal:
+            journal.append({"seq": 1})
+            journal.append({"seq": 2})
+        # Simulate a crash mid-write: the final line is half a record.
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"seq":3,"cr')
+        records = StateJournal.replay(path)
+        assert [r["seq"] for r in records] == [1, 2]
+
+    def test_corruption_before_tail_raises(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with StateJournal(path) as journal:
+            journal.append({"seq": 1})
+            journal.append({"seq": 2})
+        lines = open(path, encoding="utf-8").read().splitlines()
+        lines[0] = lines[0].replace('"seq":1', '"seq":9')
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+        with pytest.raises(JournalCorruptError):
+            StateJournal.replay(path)
+
+    def test_append_after_close_fails(self, tmp_path):
+        journal = StateJournal(str(tmp_path / "j.jsonl"))
+        journal.close()
+        with pytest.raises(JournalError):
+            journal.append({"seq": 1})
+
+    def test_header_written_once(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with StateJournal(path) as journal:
+            journal.ensure_header({"expected_networks": 4})
+            journal.append({"seq": 1, "kind": "op"})
+        # Reopening must not add a second header.
+        with StateJournal(path) as journal:
+            journal.ensure_header({"expected_networks": 999})
+        records = StateJournal.replay(path)
+        headers = [r for r in records if r.get("kind") == "header"]
+        assert len(headers) == 1
+        assert headers[0]["config"] == {"expected_networks": 4}
+
+    def test_failing_journal_always_raises(self):
+        journal = FailingJournal()
+        with pytest.raises(JournalError):
+            journal.append({"seq": 1})
+        journal.close()
+
+
+class TestSnapshot:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "snap.json")
+        payload = {"seq": 7, "assignments": {"op-a": {"slot": 0}}}
+        write_snapshot(path, payload)
+        assert read_snapshot(path) == payload
+        assert not os.path.exists(path + ".tmp")
+
+    def test_missing_snapshot_is_none(self, tmp_path):
+        assert read_snapshot(str(tmp_path / "nope.json")) is None
+
+    def test_corrupt_snapshot_is_none_not_fatal(self, tmp_path):
+        path = str(tmp_path / "snap.json")
+        write_snapshot(path, {"seq": 7})
+        raw = open(path, encoding="utf-8").read()
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(raw.replace('"seq":7', '"seq":8'))
+        assert read_snapshot(path) is None
+
+    def test_half_written_snapshot_is_none(self, tmp_path):
+        path = str(tmp_path / "snap.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write('{"seq": 7, "assign')
+        assert read_snapshot(path) is None
+
+    def test_overwrite_is_atomic_replace(self, tmp_path):
+        path = str(tmp_path / "snap.json")
+        write_snapshot(path, {"seq": 1})
+        write_snapshot(path, {"seq": 2})
+        assert read_snapshot(path) == {"seq": 2}
+
+    def test_snapshot_json_is_canonical(self, tmp_path):
+        path = str(tmp_path / "snap.json")
+        write_snapshot(path, {"b": 1, "a": 2})
+        raw = open(path, encoding="utf-8").read()
+        body = json.loads(raw)
+        assert list(body) == sorted(body)

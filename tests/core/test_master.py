@@ -142,6 +142,136 @@ class TestMasterOverTcp:
         server.close()  # no exception, socket released
 
 
+class TestResumeOverTcp:
+    def test_resume_revalidates_lease(self, grid_16):
+        master = MasterNode(grid_16, expected_networks=2)
+        with MasterServer(master) as server:
+            with MasterClient(server.address) as client:
+                granted = client.register("op-1")
+                assert granted.lease  # wire carries the lease token
+                resumed = client.resume("op-1", granted.lease)
+                assert resumed.slot == granted.slot
+                assert resumed.epoch == granted.epoch
+
+    def test_resume_with_forged_lease_rejected(self, grid_16):
+        master = MasterNode(grid_16, expected_networks=2)
+        with MasterServer(master) as server:
+            with MasterClient(server.address) as client:
+                client.register("op-1")
+                with pytest.raises(MasterRequestError) as excinfo:
+                    client.resume("op-1", "forged")
+                assert excinfo.value.code == "lease_stale"
+
+    def test_resume_unknown_operator_rejected(self, grid_16):
+        master = MasterNode(grid_16, expected_networks=2)
+        with MasterServer(master) as server:
+            with MasterClient(server.address) as client:
+                with pytest.raises(MasterRequestError) as excinfo:
+                    client.resume("ghost", "any")
+                assert excinfo.value.code == "unknown_operator"
+
+
+class TestErrorCodes:
+    def test_region_full_code(self, grid_16):
+        master = MasterNode(grid_16, expected_networks=1)
+        with MasterServer(master) as server:
+            with MasterClient(server.address) as client:
+                client.register("op-1")
+                with pytest.raises(MasterRequestError) as excinfo:
+                    client.register("op-2")
+                assert excinfo.value.code == "region_full"
+
+    def test_degraded_code_when_read_only(self, grid_16):
+        from repro.core.journal import FailingJournal
+
+        master = MasterNode(grid_16, expected_networks=2)
+        master.journal = FailingJournal()
+        with MasterServer(master) as server:
+            with MasterClient(server.address) as client:
+                with pytest.raises(MasterRequestError) as excinfo:
+                    client.register("op-1")
+                assert excinfo.value.code == "degraded"
+                # Reads keep working in degraded mode.
+                assert client.status()["read_only"] is True
+
+    def test_bad_request_code(self, grid_16):
+        master = MasterNode(grid_16)
+        with MasterServer(master) as server:
+            with MasterClient(server.address) as client:
+                with pytest.raises(MasterRequestError) as excinfo:
+                    client.register("")
+                assert excinfo.value.code == "bad_request"
+
+    def test_unknown_type_code(self, grid_16):
+        import socket
+
+        from repro.core.protocol import read_message, send_message
+
+        master = MasterNode(grid_16)
+        with MasterServer(master) as server:
+            sock = socket.create_connection(server.address, timeout=1.0)
+            try:
+                send_message(sock, {"type": "dance"})
+                response = read_message(sock)
+                assert response["code"] == "unknown_type"
+            finally:
+                sock.close()
+
+
+class TestRecvTimeout:
+    def test_silent_connection_is_reaped(self, grid_16):
+        import socket
+        import time
+
+        master = MasterNode(grid_16, expected_networks=2)
+        with MasterServer(master, recv_timeout_s=0.1) as server:
+            idler = socket.create_connection(server.address, timeout=1.0)
+            try:
+                deadline = time.monotonic() + 2.0
+                while (
+                    server.reaped_connections == 0
+                    and time.monotonic() < deadline
+                ):
+                    time.sleep(0.01)
+                assert server.reaped_connections == 1
+                # The reaped socket is dead: the server closed it.
+                idler.settimeout(1.0)
+                try:
+                    data = idler.recv(1)
+                except OSError:
+                    data = b""
+                assert data == b""
+            finally:
+                idler.close()
+            # Active clients within the deadline are unaffected.
+            with MasterClient(server.address) as client:
+                assert client.register("op-1").slot == 0
+
+    def test_no_timeout_means_no_reaping(self, grid_16):
+        master = MasterNode(grid_16)
+        with MasterServer(master) as server:
+            with MasterClient(server.address) as client:
+                client.register("op-1")
+            assert server.reaped_connections == 0
+
+    def test_counters_are_lock_protected(self, grid_16):
+        """dropped/reaped/seen counters share one lock (no lost updates)."""
+        master = MasterNode(grid_16, expected_networks=6)
+        with MasterServer(master) as server:
+            clients = [MasterClient(server.address) for _ in range(6)]
+            threads = [
+                threading.Thread(target=c.register, args=(f"op-{i}",))
+                for i, c in enumerate(clients)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            for c in clients:
+                c.close()
+            assert server.requests_seen == 6
+
+
 class TestServerRobustness:
     def test_garbage_bytes_do_not_kill_server(self, grid_16):
         import socket

@@ -143,3 +143,55 @@ class TestSerialization:
     def test_assignment_bad_payload(self):
         with pytest.raises(ProtocolError):
             assignment_from_wire({"type": "assignment", "operator": "x"})
+
+    def test_assignment_carries_lease_and_epoch(self, grid_16):
+        assignment = Assignment(
+            operator="op-1",
+            slot=1,
+            shift_hz=0.0,
+            grid=grid_16,
+            channel_indices=(0, 1),
+            lease="abcdef0123456789deadbeef",
+            epoch=3,
+        )
+        wire = assignment_to_wire(assignment)
+        assert wire["lease"] == assignment.lease
+        assert wire["epoch"] == 3
+        assert assignment_from_wire(wire) == assignment
+
+    def test_pre_durability_payload_still_loads(self, grid_16):
+        """Cache files written before leases existed must deserialize."""
+        wire = assignment_to_wire(
+            Assignment(
+                operator="op-1",
+                slot=0,
+                shift_hz=0.0,
+                grid=grid_16,
+                channel_indices=(0,),
+            )
+        )
+        del wire["lease"]
+        del wire["epoch"]
+        legacy = assignment_from_wire(wire)
+        assert legacy.lease == ""
+        assert legacy.epoch == 0
+
+
+class TestRecvTimeout:
+    def test_read_times_out_on_silent_peer(self):
+        a, b = socket_pair()
+        try:
+            with pytest.raises(socket.timeout):
+                read_message(b, timeout_s=0.05)
+        finally:
+            a.close()
+            b.close()
+
+    def test_timeout_not_tripped_by_prompt_peer(self):
+        a, b = socket_pair()
+        try:
+            send_message(a, {"type": "status"})
+            assert read_message(b, timeout_s=1.0) == {"type": "status"}
+        finally:
+            a.close()
+            b.close()

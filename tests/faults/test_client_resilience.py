@@ -165,6 +165,104 @@ class TestRetry:
             silent.close()
 
 
+class TestMidExchangeRestart:
+    """The server dies after *reading* the request, before replying.
+
+    The nastiest spot for exactly-once: the Master applied and
+    journaled the registration, the client never heard back, and the
+    retry lands on a freshly restarted process.  The journaled
+    request id must answer the retry with the original grant instead
+    of allocating a second slot.
+    """
+
+    def test_retry_with_same_request_id_is_not_reallocated(
+        self, tmp_path, grid_16
+    ):
+        from repro.core.journal import StateJournal
+        from repro.faults import MasterCrash
+
+        journal_path = str(tmp_path / "journal.jsonl")
+        master1 = MasterNode(
+            grid_16,
+            expected_networks=2,
+            journal=StateJournal(journal_path),
+        )
+        # Die after applying request #1 — reply withheld.
+        plan = FaultPlan(master_crashes=(MasterCrash(at_request=1),))
+        server1 = MasterServer(master1, fault_plan=plan).start()
+        host, port = server1.address
+
+        revived = {}
+
+        def restart_during_backoff(_s: float) -> None:
+            if revived:
+                return
+            master2 = MasterNode.recover(journal_path)
+            revived["server"] = MasterServer(master2, host=host, port=port)
+            revived["server"].start()
+            revived["master"] = master2
+
+        client = MasterClient(
+            (host, port),
+            timeout_s=2.0,
+            retry=FAST_RETRY,
+            sleep=restart_during_backoff,
+        )
+        try:
+            assignment = client.register("op-1")
+            # Answered from the journal: the slot the dead incarnation
+            # granted, not a second allocation.
+            assert client.retries == 1
+            assert assignment.slot == 0
+            assert revived["master"].status()["occupied"] == 1
+            # The client also holds the original lease and can resume.
+            resumed = client.resume("op-1", assignment.lease)
+            assert resumed.epoch == revived["master"].epoch
+        finally:
+            client.close()
+            server1.close()
+            if "server" in revived:
+                revived["server"].close()
+                revived["master"].journal.close()
+            master1.journal.close()
+
+    def test_without_journal_restart_falls_back_to_idempotency(
+        self, grid_16
+    ):
+        """No journal: the retry re-registers (legacy idempotent path)."""
+        from repro.faults import MasterCrash
+
+        master1 = MasterNode(grid_16, expected_networks=2)
+        plan = FaultPlan(master_crashes=(MasterCrash(at_request=1),))
+        server1 = MasterServer(master1, fault_plan=plan).start()
+        host, port = server1.address
+
+        revived = {}
+
+        def restart_during_backoff(_s: float) -> None:
+            if revived:
+                return
+            revived["server"] = MasterServer(
+                MasterNode(grid_16, expected_networks=2), host=host, port=port
+            ).start()
+
+        client = MasterClient(
+            (host, port),
+            timeout_s=2.0,
+            retry=FAST_RETRY,
+            sleep=restart_during_backoff,
+        )
+        try:
+            assignment = client.register("op-1")
+            assert assignment.operator == "op-1"
+            assert client.retries == 1
+        finally:
+            client.close()
+            server1.close()
+            if "server" in revived:
+                revived["server"].close()
+
+
 class TestMasterRestart:
     def test_reregistration_survives_master_restart(self, grid_16):
         """A restarted Master is re-registered transparently by the retry."""

@@ -294,6 +294,31 @@ class TestHealthMonitor:
         assert fired[0]["scope"] == "global"
         assert fired[0]["gateway"] is None
 
+    def test_master_readonly_alert(self):
+        """A journal failure (read-only flip) is a critical alert."""
+        m = HealthMonitor()
+        m.observe_event(
+            EventType.MASTER_READONLY, None, {"reason": "disk full"}
+        )
+        fired = [a for a in m.alerts() if a["rule"] == "master_readonly"]
+        assert len(fired) == 1
+        assert fired[0]["severity"] == "critical"
+        assert m.healthz()["status"] == "critical"
+
+    def test_recovery_events_tracked_globally(self):
+        m = HealthMonitor()
+        m.observe_event(
+            EventType.MASTER_CRASH, None, {"at_request": 4, "req": "register"}
+        )
+        m.observe_event(
+            EventType.MASTER_RECOVERED,
+            None,
+            {"seq": 4, "replayed": 2, "epoch": 1, "operators": 4},
+        )
+        sample = m.global_sample()
+        assert sample["master_crashes_rate"] > 0
+        assert sample["master_recoveries_rate"] > 0
+
     def test_drop_ratio_counts_final_fates(self):
         m = HealthMonitor(window_s=100.0)
         for i, outcome in enumerate(("received", "no_decoder", "received")):

@@ -119,6 +119,24 @@ class TestExtraction:
         assert m["event_counts.gw.lock_on"] == 50.0
         assert metrics_from_bench([]) == {}
 
+    def test_metrics_from_bench_flattens_named_events(self):
+        """Drill benches carry named scalars; wall-clock ones are skipped."""
+        records = [
+            {
+                "events": {
+                    "duplicate_grants": 0,
+                    "journal_ops": 6,
+                    "recovery_wall_s": 0.002,
+                },
+                "event_counts": {"master.crash": 1},
+            }
+        ]
+        m = metrics_from_bench(records)
+        assert m["events.duplicate_grants"] == 0.0
+        assert m["events.journal_ops"] == 6.0
+        assert "events.recovery_wall_s" not in m
+        assert m["event_counts.master.crash"] == 1.0
+
 
 class TestLoadAndCompareRuns:
     def test_sniffs_all_three_kinds(self, tmp_path):

@@ -231,3 +231,84 @@ class TestCliHealthObservatory:
         result.write_text(json.dumps({"prr": 0.5}))
         assert main(["regress", str(trace), str(result)]) == 2
         assert "regress:" in capsys.readouterr().err
+
+
+class TestDrillCommand:
+    def test_drill_passes_and_writes_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "drill"
+        trace = tmp_path / "drill.jsonl"
+        bench = tmp_path / "BENCH_master_recovery.json"
+        report_path = tmp_path / "report.json"
+        assert (
+            main(
+                [
+                    "drill",
+                    "--seed", "7",
+                    "--operators", "4",
+                    "--crash-at", "3",
+                    "--snapshot-after", "1",
+                    "--max-recovery-s", "30.0",
+                    "--out-dir", str(out_dir),
+                    "--trace", str(trace),
+                    "--bench", str(bench),
+                    "--json", str(report_path),
+                ]
+            )
+            == 0
+        )
+        report = json.loads(report_path.read_text())
+        assert report["passed"] is True
+        assert report["duplicate_grants"] == 0
+        # The journal and snapshot artifacts exist for post-mortems.
+        assert (out_dir / "master-journal.jsonl").exists()
+        assert (out_dir / "master-snapshot.json").exists()
+        # The trace holds the crash and the recovery.
+        events = [
+            json.loads(line)
+            for line in trace.read_text().splitlines()
+            if line
+        ]
+        etypes = {e.get("type") for e in events}
+        assert "master.crash" in etypes
+        assert "master.recovered" in etypes
+        # The bench record follows the BENCH trajectory format.
+        history = json.loads(bench.read_text())
+        assert history[-1]["events"]["passed"] == 1
+        assert history[-1]["events"]["recovery_wall_s"] > 0
+        assert history[-1]["event_counts"]["master.crash"] == 1
+
+    def test_drill_bench_appends(self, tmp_path, capsys):
+        bench = tmp_path / "bench.json"
+        for _ in range(2):
+            assert (
+                main(
+                    [
+                        "drill",
+                        "--operators", "3",
+                        "--crash-at", "2",
+                        "--snapshot-after", "1",
+                        "--out-dir", str(tmp_path / "scratch"),
+                        "--bench", str(bench),
+                        "--json", str(tmp_path / "r.json"),
+                    ]
+                )
+                == 0
+            )
+        assert len(json.loads(bench.read_text())) == 2
+
+    def test_drill_failure_exits_nonzero(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "drill",
+                    "--operators", "3",
+                    "--crash-at", "2",
+                    "--snapshot-after", "1",
+                    "--max-recovery-s", "0.0",
+                    "--out-dir", str(tmp_path / "scratch"),
+                    "--json", str(tmp_path / "r.json"),
+                ]
+            )
+            == 1
+        )
+        assert "drill failure" in capsys.readouterr().err
