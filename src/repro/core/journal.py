@@ -9,10 +9,11 @@ of that durability story:
   the in-memory state commits; after a crash,
   :meth:`StateJournal.replay` reconstructs the exact mutation sequence.
   Each line carries a CRC-32 over its canonical JSON body, so torn
-  tail writes (the crash landed mid-``write``) are detected and
-  dropped, while corruption anywhere earlier raises
-  :class:`JournalCorruptError` — silent truncation of committed state
-  is never acceptable.
+  tail writes (the crash landed mid-``write``) are detected, dropped
+  and — when replaying for recovery — truncated off the file so later
+  appends start on a clean line, while corruption anywhere earlier
+  raises :class:`JournalCorruptError` — silent truncation of committed
+  state is never acceptable.
 * :func:`write_snapshot` / :func:`read_snapshot` — periodic full-state
   snapshots written with the write-to-temp + ``fsync`` +
   ``os.replace`` idiom, so a snapshot file is either the complete old
@@ -189,40 +190,84 @@ class StateJournal:
     # -- reading -----------------------------------------------------------
 
     @staticmethod
-    def replay(path: str) -> List[Dict[str, Any]]:
+    def replay(path: str, repair: bool = False) -> List[Dict[str, Any]]:
         """Read and verify every record of a journal file.
 
-        A corrupt or truncated **final** line is a torn tail — the
-        crash interrupted the write — and is dropped with a warning.
-        Corruption anywhere before the tail raises
-        :class:`JournalCorruptError`: committed state was damaged and
-        recovery must not silently continue past it.
+        A corrupt, checksum-invalid or unterminated **final** line is a
+        torn tail — the crash interrupted that append before it was
+        acknowledged — and is dropped with a warning.  With
+        ``repair=True`` the torn fragment is also truncated off the
+        file (and the truncation fsynced), so the next append starts on
+        a clean line instead of concatenating onto the fragment and
+        corrupting an acknowledged record.  Corruption anywhere before
+        the tail raises :class:`JournalCorruptError`: committed state
+        was damaged and recovery must not silently continue past it.
 
         Returns an empty list when the file does not exist.
         """
         try:
-            with open(path, encoding="utf-8") as fh:
-                lines = fh.read().splitlines()
+            with open(path, "rb") as fh:
+                blob = fh.read()
         except FileNotFoundError:
             return []
         except OSError as exc:
             raise JournalError(f"cannot read journal {path!r}: {exc}") from exc
         records: List[Dict[str, Any]] = []
-        for index, line in enumerate(lines):
-            if not line.strip():
+        size = len(blob)
+        pos = 0
+        valid_end = 0  # byte offset just past the last intact record
+        while pos < size:
+            newline = blob.find(b"\n", pos)
+            if newline == -1:
+                # Unterminated final line: the crash landed mid-write,
+                # before the record was acknowledged — a torn tail even
+                # if the fragment happens to parse.
+                logger.warning(
+                    "journal %s: dropping unterminated torn tail at "
+                    "byte %d",
+                    path,
+                    pos,
+                )
+                break
+            end = newline + 1
+            line = blob[pos:newline].decode("utf-8", errors="replace").strip()
+            if not line:
+                pos = end
                 continue
             try:
                 records.append(decode_record(line))
             except JournalCorruptError:
-                if index == len(lines) - 1:
+                if end >= size:
                     logger.warning(
-                        "journal %s: dropping torn tail line %d",
+                        "journal %s: dropping torn tail at byte %d",
                         path,
-                        index + 1,
+                        pos,
                     )
                     break
                 raise
+            valid_end = end
+            pos = end
+        if repair and valid_end < size:
+            StateJournal._truncate_to(path, valid_end)
         return records
+
+    @staticmethod
+    def _truncate_to(path: str, offset: int) -> None:
+        """Cut a journal back to ``offset`` bytes (torn-tail repair)."""
+        try:
+            with open(path, "rb+") as fh:
+                fh.truncate(offset)
+                fh.flush()
+                os.fsync(fh.fileno())
+        except OSError as exc:
+            raise JournalError(
+                f"cannot repair torn tail of {path!r}: {exc}"
+            ) from exc
+        logger.warning(
+            "journal %s: truncated torn tail; file now ends at byte %d",
+            path,
+            offset,
+        )
 
 
 class FailingJournal(StateJournal):

@@ -148,8 +148,13 @@ class MasterNode:
         self._lock = threading.Lock()
         self._assignments: Dict[str, Assignment] = {}
         self._free: List[int] = list(range(len(self.allocations)))
-        # Exactly-once bookkeeping: request_id -> its journaled op record.
+        # Exactly-once bookkeeping: request_id -> its journaled op
+        # record, bounded to the *latest* request per operator (the
+        # only one a client can still be retrying); the eviction is a
+        # pure function of the record sequence, so journal replay
+        # rebuilds the identical cache.
         self._completed: Dict[str, Dict[str, Any]] = {}
+        self._latest_request: Dict[str, str] = {}
         self._seq = 0  # last applied journal sequence number
         self._epoch = 0  # incarnation counter, bumped by recover()
         self._read_only = False
@@ -249,7 +254,11 @@ class MasterNode:
         """
         with self._lock:
             replayed = self._completed.get(request_id or "")
-            if replayed is not None and replayed.get("operator") == operator:
+            if (
+                replayed is not None
+                and replayed.get("operator") == operator
+                and replayed.get("op") == "release"
+            ):
                 return bool(replayed.get("held"))
             self._check_writable()
             assignment = self._assignments.get(operator)
@@ -400,6 +409,13 @@ class MasterNode:
                 self._free.sort()
         request_id = record.get("request_id")
         if isinstance(request_id, str) and request_id:
+            # Keep only the operator's newest request: an older one can
+            # no longer be retried once the client issued a newer ID,
+            # so the cache stays bounded by the operator count.
+            previous = self._latest_request.get(operator)
+            if previous is not None and previous != request_id:
+                self._completed.pop(previous, None)
+            self._latest_request[operator] = request_id
             self._completed[request_id] = record
         self._seq = int(record["seq"])
 
@@ -459,6 +475,13 @@ class MasterNode:
             str(rid): dict(rec)
             for rid, rec in snapshot.get("completed", {}).items()
         }
+        for rid, rec in sorted(
+            node._completed.items(),
+            key=lambda item: int(item[1].get("seq", 0)),
+        ):
+            op_name = str(rec.get("operator", ""))
+            if op_name:
+                node._latest_request[op_name] = rid
         return node
 
     @classmethod
@@ -474,13 +497,19 @@ class MasterNode:
         journal record past its sequence number, bumps the epoch, and
         reopens the journal for appending — the node answers requests
         with the exact state it held when the previous incarnation
-        died, duplicate-retry answers included.
+        died, duplicate-retry answers included.  A torn journal tail is
+        truncated off the file before the journal is reopened, so the
+        new incarnation's first append cannot concatenate onto the
+        fragment; the bumped epoch is journaled as a ``recovery``
+        record, so it stays strictly monotonic across incarnations even
+        when no snapshot exists.
 
         Raises:
             JournalError: when neither a snapshot nor a journal header
-                is available, or committed records are corrupt.
+                is available, committed records are corrupt, or the
+                reopened journal rejects the recovery record.
         """
-        records = StateJournal.replay(journal_path)
+        records = StateJournal.replay(journal_path, repair=True)
         snap = read_snapshot(snapshot_path) if snapshot_path else None
         if snap is not None:
             node = cls.restore(snap)
@@ -501,7 +530,14 @@ class MasterNode:
             )
         replayed = 0
         for record in records:
-            if record.get("kind") != "op":
+            kind = record.get("kind")
+            if kind == "recovery":
+                # Epochs are journaled so they survive journal-only
+                # recovery (no snapshot); max() keeps them monotonic
+                # whether or not a newer snapshot was loaded.
+                node._epoch = max(node._epoch, int(record.get("epoch", 0)))
+                continue
+            if kind != "op":
                 continue
             if int(record.get("seq", 0)) <= node._seq:
                 continue
@@ -516,6 +552,9 @@ class MasterNode:
         }
         node.journal = StateJournal(journal_path, fsync=fsync)
         node.journal.ensure_header(node._config_dict())
+        node.journal.append(
+            {"kind": "recovery", "seq": node._seq, "epoch": node._epoch}
+        )
         logger.info(
             "master recovered from %s: seq=%d, %d record(s) replayed, "
             "epoch=%d, %d operator(s)",

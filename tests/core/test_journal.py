@@ -66,6 +66,40 @@ class TestStateJournal:
         records = StateJournal.replay(path)
         assert [r["seq"] for r in records] == [1, 2]
 
+    def test_replay_without_repair_leaves_file_untouched(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with StateJournal(path) as journal:
+            journal.append({"seq": 1})
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"seq":2,"cr')
+        size_before = os.path.getsize(path)
+        StateJournal.replay(path)
+        assert os.path.getsize(path) == size_before
+
+    def test_replay_repair_truncates_torn_tail(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with StateJournal(path) as journal:
+            journal.append({"seq": 1})
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"seq":2,"cr')
+        records = StateJournal.replay(path, repair=True)
+        assert [r["seq"] for r in records] == [1]
+        # The fragment is gone, so the next append starts a clean line
+        # instead of concatenating into one corrupt merged record.
+        with StateJournal(path) as journal:
+            journal.append({"seq": 2})
+        assert [r["seq"] for r in StateJournal.replay(path)] == [1, 2]
+
+    def test_unterminated_final_line_is_torn_even_if_valid(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with StateJournal(path) as journal:
+            journal.append({"seq": 1})
+        # Crash after writing the record body but before its newline:
+        # the append never returned, so the record was never acked.
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(encode_record({"seq": 2}))
+        assert [r["seq"] for r in StateJournal.replay(path)] == [1]
+
     def test_corruption_before_tail_raises(self, tmp_path):
         path = str(tmp_path / "j.jsonl")
         with StateJournal(path) as journal:

@@ -116,6 +116,49 @@ class TestRecovery:
         assert live == snap
         revived.journal.close()
 
+    def test_torn_tail_repaired_before_new_appends(self, tmp_path, grid_16):
+        """A post-recovery grant must survive a *second* recovery.
+
+        Without torn-tail truncation the fragment has no newline, so
+        the first acked record of the new incarnation concatenates onto
+        it and the next recovery silently drops that merged line —
+        losing an acknowledged grant and re-freeing its slot.
+        """
+        master, path = _journaled_master(tmp_path, grid_16)
+        master.register("op-a")
+        master.journal.close()
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind":"op","seq":2,"cr')  # crash mid-append
+
+        revived = MasterNode.recover(path)
+        granted = revived.register("op-b")  # acked + journaled
+        revived.journal.close()
+
+        revived2 = MasterNode.recover(path)
+        assert revived2.status()["operators"] == {
+            "op-a": 0,
+            "op-b": granted.slot,
+        }
+        # The slot must not have been handed out again.
+        extra = revived2.register("op-c")
+        assert extra.slot not in (0, granted.slot)
+        revived2.journal.close()
+
+    def test_epoch_monotonic_without_snapshot(self, tmp_path, grid_16):
+        """Journal-only recoveries must not reuse an epoch."""
+        master, path = _journaled_master(tmp_path, grid_16)
+        master.register("op-a")
+        master.journal.close()
+
+        first = MasterNode.recover(path)
+        assert first.epoch == 1
+        first.journal.close()
+
+        second = MasterNode.recover(path)
+        assert second.epoch == 2
+        assert second.assignment_of("op-a").epoch == 2
+        second.journal.close()
+
     def test_recovered_master_accepts_new_registrations(
         self, tmp_path, grid_16
     ):
@@ -166,6 +209,31 @@ class TestExactlyOnce:
         b = master.register("op-b", request_id="shared")
         assert b.operator == "op-b"
         assert b.slot == 1
+
+    def test_release_ignores_register_completion_record(
+        self, tmp_path, grid_16
+    ):
+        """A register's id presented on a release must not be replayed.
+
+        The cached record is for a different op kind, so the release
+        executes for real instead of silently answering ``False`` while
+        the operator keeps its slot.
+        """
+        master, _ = _journaled_master(tmp_path, grid_16)
+        master.register("op-a", request_id="r1")
+        assert master.release("op-a", request_id="r1") is True
+        assert master.assignment_of("op-a") is None
+
+    def test_completion_cache_bounded_per_operator(self, tmp_path, grid_16):
+        """Only the newest request per operator stays cached."""
+        master, _ = _journaled_master(tmp_path, grid_16)
+        for i in range(25):
+            master.register("op-a", request_id=f"reg-{i}")
+            master.release("op-a", request_id=f"rel-{i}")
+        snap = master.snapshot()
+        assert list(snap["completed"]) == ["rel-24"]
+        # The retained id still replays its original outcome.
+        assert master.release("op-a", request_id="rel-24") is True
 
 
 class TestLeases:
