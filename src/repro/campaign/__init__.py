@@ -1,0 +1,27 @@
+"""Campaign orchestration: run scenario sweeps in parallel, store, query.
+
+A *campaign* is one scenario spec executed over its full sweep grid
+into an on-disk result store.  The package splits cleanly:
+
+* :mod:`~repro.campaign.store` — atomic per-run records + index;
+* :mod:`~repro.campaign.runner` — parallel execution with resume;
+* :mod:`~repro.campaign.report` — status / report / regression diff.
+
+Entry points surface as ``repro.tools campaign run|status|report|diff``.
+"""
+
+from __future__ import annotations
+
+from .report import campaign_diff, campaign_report, campaign_status
+from .runner import execute_one, run_campaign
+from .store import CampaignError, CampaignStore
+
+__all__ = [
+    "CampaignError",
+    "CampaignStore",
+    "campaign_diff",
+    "campaign_report",
+    "campaign_status",
+    "execute_one",
+    "run_campaign",
+]

@@ -1,0 +1,136 @@
+"""Query and comparison layer over campaign result stores.
+
+Three read-only views of a campaign directory:
+
+* :func:`campaign_status` — grid completion (done/pending per run);
+* :func:`campaign_report` — one row per finished run with its sweep
+  overrides and headline metrics, plus simple per-metric aggregates;
+* :func:`campaign_diff` — pairwise regression check of two campaigns,
+  delegating metric flattening and tolerance logic to
+  :mod:`repro.obs.regress` (wall-clock manifest fields are volatile
+  there and never gate a comparison).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..obs.regress import REGRESS_SCHEMA_VERSION, Tolerance, compare_metrics, metrics_from_result
+from .store import CampaignStore
+
+__all__ = ["campaign_status", "campaign_report", "campaign_diff"]
+
+# Headline metrics promoted into report rows when present.
+_HEADLINE_KEYS = ("offered", "delivered", "prr")
+
+
+def campaign_status(out_dir: str) -> Dict[str, Any]:
+    """Completion state of the campaign at ``out_dir``."""
+    return CampaignStore(out_dir).status()
+
+
+def _headline(result: Mapping[str, Any]) -> Dict[str, Any]:
+    return {k: result[k] for k in _HEADLINE_KEYS if k in result}
+
+
+def campaign_report(out_dir: str) -> Dict[str, Any]:
+    """Per-run rows plus aggregates for every finished run."""
+    store = CampaignStore(out_dir)
+    status = store.status()
+    rows: List[Dict[str, Any]] = []
+    for record in store.results():
+        result = record.get("result", {})
+        rows.append(
+            {
+                "run_id": record["run_id"],
+                "index": record.get("index"),
+                "seed": record.get("seed"),
+                "overrides": record.get("overrides", {}),
+                "kind": result.get("kind"),
+                **_headline(result),
+                "wall_time_s": (record.get("manifest") or {}).get("wall_time_s"),
+            }
+        )
+    aggregates: Dict[str, Dict[str, float]] = {}
+    for key in _HEADLINE_KEYS:
+        values = [float(row[key]) for row in rows if isinstance(row.get(key), (int, float))]
+        if values:
+            aggregates[key] = {
+                "min": min(values),
+                "max": max(values),
+                "mean": sum(values) / len(values),
+            }
+    return {
+        "name": status["name"],
+        "spec_digest": status["spec_digest"],
+        "total": status["total"],
+        "completed": status["completed"],
+        "pending": status["pending"],
+        "rows": rows,
+        "aggregates": aggregates,
+    }
+
+
+def _comparable(record: Mapping[str, Any]) -> Dict[str, float]:
+    # Flatten only the deterministic result payload; the manifest is
+    # wall-clock-bearing by design and must never gate a diff.
+    return metrics_from_result(record.get("result", {}))
+
+
+def campaign_diff(
+    dir_a: str,
+    dir_b: str,
+    default: Optional[Tolerance] = None,
+) -> Dict[str, Any]:
+    """Compare two campaigns run-by-run; the ``campaign diff`` payload.
+
+    Runs are paired by ``run_id`` when the two campaigns share a spec
+    digest (the common case: same spec, different code), and by grid
+    ``index`` otherwise (an edited spec re-hashes every run).  A run
+    finished on only one side is a failing check.
+    """
+    store_a, store_b = CampaignStore(dir_a), CampaignStore(dir_b)
+    index_a, index_b = store_a.require_index(), store_b.require_index()
+    by_run_id = index_a.get("spec_digest") == index_b.get("spec_digest")
+    key = (lambda r: r["run_id"]) if by_run_id else (lambda r: r.get("index"))
+    recs_a = {key(r): r for r in store_a.results()}
+    recs_b = {key(r): r for r in store_b.results()}
+
+    runs: List[Dict[str, Any]] = []
+    regressions = 0
+    for pair_key in sorted(set(recs_a) | set(recs_b), key=str):
+        rec_a, rec_b = recs_a.get(pair_key), recs_b.get(pair_key)
+        if rec_a is None or rec_b is None:
+            runs.append(
+                {
+                    "key": pair_key,
+                    "status": "fail",
+                    "reason": "run finished in only one campaign",
+                    "in_a": rec_a is not None,
+                    "in_b": rec_b is not None,
+                }
+            )
+            regressions += 1
+            continue
+        checks = compare_metrics(
+            _comparable(rec_a), _comparable(rec_b), default=default
+        )
+        failing = [c for c in checks if not c["ok"]]
+        regressions += len(failing)
+        runs.append(
+            {
+                "key": pair_key,
+                "status": "fail" if failing else "pass",
+                "metrics_compared": len(checks),
+                "regressions": failing,
+            }
+        )
+    return {
+        "schema": REGRESS_SCHEMA_VERSION,
+        "paired_by": "run_id" if by_run_id else "index",
+        "a": dir_a,
+        "b": dir_b,
+        "status": "fail" if regressions else "pass",
+        "runs": runs,
+        "total_regressions": regressions,
+    }

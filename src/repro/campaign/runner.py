@@ -1,0 +1,142 @@
+"""Parallel campaign execution with crash-tolerant resume.
+
+The runner expands a scenario spec into its seeded run grid, skips
+every run whose result already sits in the store (resume), and executes
+the rest — inline for ``jobs=1``, on a :class:`ProcessPoolExecutor`
+otherwise.  Each run's seed is embedded in its
+:class:`~repro.scenarios.spec.RunConfig` *before* any worker starts,
+so results are bit-identical at any parallelism: the pool only decides
+*when* a run executes, never *what* it computes.
+
+Wall-clock readings are confined to the run manifests (``wall_time_s``,
+``started_at`` via :mod:`repro.obs.manifest`); comparisons scrub them.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Callable, Dict, List, Optional
+
+from ..obs.manifest import Stopwatch, build_manifest
+from ..scenarios.compile import execute_run
+from ..scenarios.spec import RunConfig, ScenarioSpec
+from .store import CampaignStore
+
+__all__ = ["execute_one", "run_campaign"]
+
+ProgressFn = Callable[[str], None]
+
+
+def execute_one(run: RunConfig, experiment: str = "campaign") -> Dict[str, Any]:
+    """Execute one run and wrap it into a self-contained store record.
+
+    Top-level (picklable) on purpose: this is the process-pool worker.
+    """
+    watch = Stopwatch()
+    result = execute_run(run)
+    manifest = build_manifest(
+        experiment=experiment,
+        seed=run.seed,
+        config=run.config,
+        wall_time_s=watch.elapsed_s(),
+        extra={"run_id": run.run_id, "run_index": run.index},
+    )
+    return {
+        "run_id": run.run_id,
+        "index": run.index,
+        "seed": run.seed,
+        "overrides": run.overrides,
+        "result": result,
+        "manifest": manifest,
+    }
+
+
+def run_campaign(
+    spec: ScenarioSpec,
+    out_dir: str,
+    jobs: int = 1,
+    resume: bool = True,
+    progress: Optional[ProgressFn] = None,
+) -> Dict[str, Any]:
+    """Run every pending run of ``spec`` into the store at ``out_dir``.
+
+    Args:
+        spec: Parsed scenario spec (its sweep defines the run grid).
+        out_dir: Campaign directory (created on first use; re-use
+            requires the same spec digest).
+        jobs: Worker processes; ``1`` executes inline in this process.
+        resume: Skip runs whose results already parse on disk.  With
+            ``resume=False`` every run re-executes and overwrites.
+        progress: Optional callback for one-line progress messages.
+
+    Returns:
+        Summary dict: totals, the runs executed/skipped, store paths.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    say = progress or (lambda _msg: None)
+    store = CampaignStore(out_dir)
+    store.initialize(spec)
+    runs = spec.runs()
+    done = store.completed_run_ids() if resume else set()
+    pending = [r for r in runs if r.run_id not in done]
+    say(
+        f"campaign {spec.name}: {len(runs)} runs "
+        f"({len(runs) - len(pending)} already done, {len(pending)} to go, "
+        f"jobs={jobs})"
+    )
+
+    executed: List[str] = []
+    failures: List[Dict[str, Any]] = []
+    if jobs == 1 or len(pending) <= 1:
+        for run in pending:
+            _finish(store, spec, run, failures, executed, say)
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                pool.submit(execute_one, run, spec.name): run for run in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for fut in finished:
+                    run = futures[fut]
+                    try:
+                        record = fut.result()
+                    except Exception as exc:  # noqa: BLE001 - reported per run
+                        failures.append({"run_id": run.run_id, "error": str(exc)})
+                        say(f"run {run.run_id} FAILED: {exc}")
+                        continue
+                    store.write_result(record)
+                    executed.append(run.run_id)
+                    say(f"run {run.run_id} done ({len(executed)}/{len(pending)})")
+
+    return {
+        "name": spec.name,
+        "spec_digest": spec.digest,
+        "out_dir": out_dir,
+        "total": len(runs),
+        "skipped": len(runs) - len(pending),
+        "executed": sorted(executed),
+        "failed": failures,
+        "completed": len(store.completed_run_ids()),
+    }
+
+
+def _finish(
+    store: CampaignStore,
+    spec: ScenarioSpec,
+    run: RunConfig,
+    failures: List[Dict[str, Any]],
+    executed: List[str],
+    say: ProgressFn,
+) -> None:
+    try:
+        record = execute_one(run, spec.name)
+    except Exception as exc:  # noqa: BLE001 - reported per run
+        failures.append({"run_id": run.run_id, "error": str(exc)})
+        say(f"run {run.run_id} FAILED: {exc}")
+        return
+    store.write_result(record)
+    executed.append(run.run_id)
+    say(f"run {run.run_id} done")

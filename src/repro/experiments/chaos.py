@@ -15,7 +15,7 @@ reproduces them byte-for-byte.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from ..core.evolutionary import GAConfig
 from ..core.intra_planner import IntraNetworkPlanner, PlannerConfig
@@ -63,25 +63,48 @@ CRASH_DOWN_S = 8.0
 OPERATOR = "op-chaos"
 
 
-def run_chaos(seed: int = 0, fast: bool = True) -> Dict[str, object]:
+def run_chaos(
+    seed: int = 0,
+    fast: bool = True,
+    *,
+    num_gateways: int = 3,
+    num_nodes: Optional[int] = None,
+    window_s: float = WINDOW_S,
+    bucket_s: float = BUCKET_S,
+    outage_start_s: float = OUTAGE_START_S,
+    outage_s: float = OUTAGE_S,
+    upgrade_s: float = UPGRADE_S,
+    crash_s: float = CRASH_S,
+    crash_down_s: float = CRASH_DOWN_S,
+    duty_cycle: float = 0.003,
+    width_m: float = 300.0,
+    height_m: float = 300.0,
+    operator: str = OPERATOR,
+) -> Dict[str, object]:
     """Run the full chaos scenario; returns deterministic metrics.
 
     Control plane: a real :class:`MasterServer`/:class:`MasterClient`
     TCP pair under the plan's outage window (a controllable clock pins
     the server inside it — no real 30 s wait).  Data plane: the online
     engine under the same plan, with confirmed-uplink retransmissions.
+
+    Every schedule constant is a keyword so the scenario compiler
+    (:mod:`repro.scenarios`) can drive the same code path from a spec
+    file; the defaults reproduce the historical hand-written run
+    byte-for-byte.
     """
     grid = TESTBED_16.grid()
     channels = grid.channels()
-    num_nodes = 24 if fast else 60
+    if num_nodes is None:
+        num_nodes = 24 if fast else 60
     net = build_network(
         network_id=1,
-        num_gateways=3,
+        num_gateways=num_gateways,
         num_nodes=num_nodes,
         channels=channels[:8],
         seed=seed,
-        width_m=300.0,
-        height_m=300.0,
+        width_m=width_m,
+        height_m=height_m,
     )
     assign_orthogonal_combos(net.devices, channels[:8])
     for dev in net.devices:
@@ -92,20 +115,20 @@ def run_chaos(seed: int = 0, fast: bool = True) -> Dict[str, object]:
     plan = FaultPlan(
         seed=seed,
         gateway_crashes=(
-            GatewayCrash(time_s=CRASH_S, gateway_id=crash_gw, down_s=CRASH_DOWN_S),
+            GatewayCrash(time_s=crash_s, gateway_id=crash_gw, down_s=crash_down_s),
         ),
         backhaul_faults=(
             BackhaulFault(
                 gateway_id=lossy_gw,
-                start_s=CRASH_S,
-                end_s=CRASH_S + CRASH_DOWN_S,
+                start_s=crash_s,
+                end_s=crash_s + crash_down_s,
                 drop_prob=0.3,
                 delay_mean_s=0.05,
                 delay_jitter_s=0.02,
             ),
         ),
         master_outages=(
-            MasterOutage(start_s=OUTAGE_START_S, duration_s=OUTAGE_S),
+            MasterOutage(start_s=outage_start_s, duration_s=outage_s),
         ),
     )
 
@@ -138,29 +161,29 @@ def run_chaos(seed: int = 0, fast: bool = True) -> Dict[str, object]:
             sleep=lambda _s: None,  # backoff is modelled, not waited out
         ) as client:
             # Healthy sync at t=0 pre-warms the last-known-assignment cache.
-            netserver.sync_with_master(client, OPERATOR, cache=cache)
+            netserver.sync_with_master(client, operator, cache=cache)
             # Mid-outage upgrade: every request is dropped; the upgrade
             # must complete on the cached assignment in degraded mode.
-            clock_now[0] = UPGRADE_S
+            clock_now[0] = upgrade_s
             outcome, latency = run_capacity_upgrade(
                 planner,
                 master_client=client,
-                operator=OPERATOR,
+                operator=operator,
                 agent_seed=seed,
                 assignment_cache=cache,
             )
-            netserver.sync_with_master(client, OPERATOR, cache=cache)
+            netserver.sync_with_master(client, operator, cache=cache)
             degraded_during_outage = netserver.degraded
             # The outage ends; the next sync clears degraded mode.
-            clock_now[0] = OUTAGE_START_S + OUTAGE_S + 1.0
-            netserver.sync_with_master(client, OPERATOR, cache=cache)
+            clock_now[0] = outage_start_s + outage_s + 1.0
+            netserver.sync_with_master(client, operator, cache=cache)
             client_retries = client.retries
             client_reconnects = client.reconnects
         dropped_requests = server.dropped_requests
 
     # -- data plane: the crash window with retransmissions ---------------
     traffic = duty_cycle_schedule(
-        net.devices, window_s=WINDOW_S, seed=seed + 1, duty_cycle=0.003
+        net.devices, window_s=window_s, seed=seed + 1, duty_cycle=duty_cycle
     )
     sim = OnlineSimulator(net.gateways, net.devices, link=link)
     res = run_with_retransmissions(
@@ -168,7 +191,7 @@ def run_chaos(seed: int = 0, fast: bool = True) -> Dict[str, object]:
         traffic,
         fault_plan=plan,
         policy=RetransmitPolicy(max_retries=2),
-        window_s=WINDOW_S,
+        window_s=window_s,
     )
     for records in res.result.receptions.values():
         netserver.ingest(records)
@@ -176,15 +199,15 @@ def run_chaos(seed: int = 0, fast: bool = True) -> Dict[str, object]:
     # Recovery is judged against the run's own pre-fault PRR: a dense
     # deployment with a lower steady state still "recovers" once it is
     # back within 90 % of its healthy level.
-    prr_series = bucketed_prr(res.result, WINDOW_S, BUCKET_S)
-    pre_fault = prr_series[: int(CRASH_S // BUCKET_S)]
+    prr_series = bucketed_prr(res.result, window_s, bucket_s)
+    pre_fault = prr_series[: int(crash_s // bucket_s)]
     threshold = 0.9 * (sum(pre_fault) / len(pre_fault)) if pre_fault else 0.9
 
     # Wall-clock terms (CP solve time, measured RTTs) are deliberately
     # excluded: everything below reproduces byte-for-byte under a seed.
     return {
-        "window_s": WINDOW_S,
-        "bucket_s": BUCKET_S,
+        "window_s": window_s,
+        "bucket_s": bucket_s,
         "fault_plan": plan.to_dict(),
         "upgrade_degraded": latency.degraded,
         "upgrade_distribution_s": latency.distribution_s,
@@ -206,9 +229,9 @@ def run_chaos(seed: int = 0, fast: bool = True) -> Dict[str, object]:
         "retransmission_rounds": res.rounds,
         "recovery_threshold": threshold,
         "time_to_recover_s": time_to_recover_s(
-            res.result, CRASH_S, WINDOW_S, bucket_s=BUCKET_S, threshold=threshold
+            res.result, crash_s, window_s, bucket_s=bucket_s, threshold=threshold
         ),
-        "degraded_time_s": degraded_time_s(plan, WINDOW_S),
+        "degraded_time_s": degraded_time_s(plan, window_s),
         "unique_frames_delivered": len(netserver.received_node_ids()),
         **_health_summary(),
     }

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..gateway.gateway import Gateway
 from ..node.device import EndDevice
 from ..node.traffic import capacity_burst
+from ..scenarios.spec import area_preset
 from ..sim.simulator import SimulationResult, Simulator
 from ..sim.topology import LinkBudget
 from ..types import Transmission
@@ -26,13 +27,18 @@ __all__ = [
     "TESTBED_AREA_M",
 ]
 
-# Lab-style feasibility studies (Figures 2, 3, 5): all gateways hear all
-# nodes, as in the paper's controlled experiments.
-COMPACT_AREA_M = (250.0, 250.0)
-# Testbed-scale studies (Figures 12-15): the paper's 2.1 x 1.6 km urban
-# area is scaled to keep most links viable at mid data rates while
+# Deployment footprints come from the scenario-spec defaults file
+# (scenarios/defaults.yaml `area_presets`) — the single source of truth
+# shared with spec-compiled runs, so a hand-written script and its
+# scenario port can never disagree on the area.
+#
+# compact: lab-style feasibility studies (Figures 2, 3, 5) — all
+# gateways hear all nodes, as in the paper's controlled experiments.
+# testbed: scaled studies (Figures 12-15) — the paper's 2.1 x 1.6 km
+# urban area scaled to keep most links viable at mid data rates while
 # preserving the reach heterogeneity that makes planning non-trivial.
-TESTBED_AREA_M = (800.0, 600.0)
+COMPACT_AREA_M = area_preset("compact")
+TESTBED_AREA_M = area_preset("testbed")
 
 
 def lab_link(seed: int = 0) -> LinkBudget:

@@ -15,7 +15,7 @@ from typing import Dict, List, Sequence
 
 from ..baselines.standard import apply_standard_lorawan
 from ..phy.regions import TESTBED_16, TESTBED_48
-from ..sim.metrics import LossCause, loss_breakdown
+from ..sim.metrics import breakdown_ratios
 from ..sim.scenario import assign_tier_by_reach, build_network
 from ..sim.simulator import Simulator
 from ..sim.topology import LinkBudget
@@ -41,16 +41,7 @@ DEVICES_PER_NETWORK = 60
 
 
 def _breakdown_dict(result, network_id=None) -> Dict[str, float]:
-    b = loss_breakdown(result, network_id=network_id)
-    return {
-        "offered": b.offered,
-        "prr": b.prr,
-        "decoder_intra": b.ratio(LossCause.DECODER_INTRA),
-        "decoder_inter": b.ratio(LossCause.DECODER_INTER),
-        "channel_intra": b.ratio(LossCause.CHANNEL_INTRA),
-        "channel_inter": b.ratio(LossCause.CHANNEL_INTER),
-        "other": b.ratio(LossCause.OTHER),
-    }
+    return breakdown_ratios(result, network_id=network_id)
 
 
 def run_fig4a(

@@ -1,0 +1,518 @@
+"""Compile resolved scenario configs into executable, seeded runs.
+
+The compiler is the bridge between the declarative spec layer
+(:mod:`repro.scenarios.spec`) and the simulation builders
+(:mod:`repro.sim.scenario`): it materializes the channel grid, the
+deployment geometry, the operator networks, their channel/DR
+assignments, and the traffic workload, then executes one of three run
+kinds:
+
+* ``capacity`` — the concurrent-burst capacity probe behind every
+  "maximum concurrent users" figure,
+* ``load`` — emulated-population traffic with a per-cause loss
+  breakdown (the Figure 4 protocol), optionally under a fault plan,
+* ``chaos`` — the full fault-injection resilience scenario.
+
+Seeding contract (the reason spec-compiled runs reproduce the
+hand-written scripts byte-for-byte): the run seed comes from the spec
+(`run.seed_mode`), network ``k`` builds with
+``run_seed + networks.seed_stride * k`` (unless its list entry pins
+``seed_offset``), per-network traffic draws from
+``run_seed + traffic.seed_stride * k``, and the link-budget shadowing
+uses the scenario's *base* seed — propagation belongs to the
+deployment, not to the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..faults import FaultPlan
+from ..node.traffic import (
+    bursty_schedule,
+    diurnal_schedule,
+    periodic_schedule,
+)
+from ..phy.channels import Channel, ChannelGrid, ChannelPlan
+from ..phy.link import LogDistancePathLoss, Position
+from ..phy.regions import AS923, EU868, TESTBED_16, TESTBED_48, US915, Band
+from ..sim.engine import OnlineSimulator
+from ..sim.metrics import breakdown_ratios, outcome_counts
+from ..sim.scenario import (
+    Network,
+    assign_orthogonal_combos,
+    assign_plan_homogeneous,
+    assign_random_channels,
+    assign_tier_by_reach,
+    build_network,
+)
+from ..sim.simulator import SimulationResult, Simulator
+from ..sim.topology import LinkBudget, clustered_positions, imported_positions
+from .spec import RunConfig, ScenarioSpec, SpecError, area_preset
+
+__all__ = ["CompiledRun", "compile_run", "execute_run", "BANDS"]
+
+BANDS: Dict[str, Band] = {
+    "US915": US915,
+    "EU868": EU868,
+    "AS923": AS923,
+    "TESTBED_48": TESTBED_48,
+    "TESTBED_16": TESTBED_16,
+}
+
+
+def _band(config: Mapping[str, Any]) -> Band:
+    name = config["region"]["band"]
+    if name not in BANDS:
+        raise SpecError(
+            f"region.band: unknown band {name!r} (expected one of {sorted(BANDS)})"
+        )
+    return BANDS[name]
+
+
+def _grid_and_channels(
+    config: Mapping[str, Any],
+) -> Tuple[ChannelGrid, List[Channel]]:
+    region = config["region"]
+    grid = _band(config).grid(float(region["spacing_hz"]))
+    channels = grid.channels()
+    limit = region["channels"]
+    if limit is not None:
+        if not 1 <= int(limit) <= len(channels):
+            raise SpecError(
+                f"region.channels: {limit} outside 1..{len(channels)} "
+                f"for band {region['band']}"
+            )
+        channels = channels[: int(limit)]
+    return grid, channels
+
+
+def _area(config: Mapping[str, Any]) -> Tuple[float, float]:
+    area = config["area"]
+    if area["preset"] == "custom":
+        return float(area["width_m"]), float(area["height_m"])
+    return area_preset(area["preset"])
+
+
+def _network_entries(config: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """One resolved build recipe per network."""
+    networks = config["networks"]
+    count = int(networks["count"])
+    if count < 1:
+        raise SpecError("networks.count: need at least one network")
+    entries: List[Dict[str, Any]] = []
+    overrides = networks.get("list") or []
+    for k in range(count):
+        entry = dict(overrides[k]) if k < len(overrides) else {}
+        entries.append(
+            {
+                "gateways": int(entry.get("gateways") or networks["gateways"]),
+                "devices": int(entry.get("devices") or networks["devices"]),
+                "seed_offset": (
+                    int(entry["seed_offset"])
+                    if entry.get("seed_offset") is not None
+                    else k * int(networks["seed_stride"])
+                ),
+                "gateway_id_base": (
+                    int(entry["gateway_id_base"])
+                    if entry.get("gateway_id_base") is not None
+                    else k * int(networks["gateway_id_stride"])
+                ),
+                "node_id_base": (
+                    int(entry["node_id_base"])
+                    if entry.get("node_id_base") is not None
+                    else k * int(networks["node_id_stride"])
+                ),
+            }
+        )
+    return entries
+
+
+def _node_positions(
+    config: Mapping[str, Any],
+    num_nodes: int,
+    seed: int,
+    width_m: float,
+    height_m: float,
+) -> Optional[List[Position]]:
+    topo = config["topology"]
+    layout = topo["device_layout"]
+    if layout == "uniform":
+        return None  # build_network's seeded uniform scatter
+    if layout == "clustered":
+        return clustered_positions(
+            num_nodes,
+            seed=seed,
+            width_m=width_m,
+            height_m=height_m,
+            clusters=int(topo["cluster_count"]),
+            spread_m=float(topo["cluster_spread_m"]),
+        )
+    if layout == "points":
+        return imported_positions(
+            num_nodes, topo["points"] or [], width_m=width_m, height_m=height_m
+        )
+    raise SpecError(
+        f"topology.device_layout: unknown layout {layout!r} "
+        "(expected uniform | clustered | points)"
+    )
+
+
+def _link_budget(config: Mapping[str, Any]) -> LinkBudget:
+    link = config["link"]
+    seed = int(link["seed"]) if link["seed"] is not None else int(config["seed"])
+    if link["kind"] == "lab":
+        sigma = float(link["sigma_db"]) if link["sigma_db"] is not None else 2.0
+        return LinkBudget(path_loss=LogDistancePathLoss(sigma_db=sigma, seed=seed))
+    if link["kind"] == "urban":
+        if link["sigma_db"] is None and link["seed"] is None:
+            return LinkBudget()
+        kwargs: Dict[str, Any] = {"seed": seed}
+        if link["sigma_db"] is not None:
+            kwargs["sigma_db"] = float(link["sigma_db"])
+        return LinkBudget(path_loss=LogDistancePathLoss(**kwargs))
+    raise SpecError(
+        f"link.kind: unknown kind {link['kind']!r} (expected lab | urban)"
+    )
+
+
+def _channel_slice(
+    channels: Sequence[Channel], k: int, count: int, mode: str
+) -> List[Channel]:
+    if mode == "none":
+        return list(channels)
+    if mode == "contiguous":
+        n = len(channels)
+        return list(channels[k * n // count : (k + 1) * n // count])
+    raise SpecError(
+        f"assignment.split_channels: unknown mode {mode!r} "
+        "(expected none | contiguous)"
+    )
+
+
+@dataclass
+class _BuiltScenario:
+    networks: List[Network]
+    build_seeds: List[int]
+    grid: ChannelGrid
+    channels: List[Channel]
+    link: LinkBudget
+    width_m: float
+    height_m: float
+
+
+def _build(config: Mapping[str, Any], run_seed: int) -> _BuiltScenario:
+    grid, channels = _grid_and_channels(config)
+    width_m, height_m = _area(config)
+    entries = _network_entries(config)
+    if config["topology"]["gateway_layout"] != "grid":
+        raise SpecError(
+            "topology.gateway_layout: only 'grid' is supported "
+            f"(got {config['topology']['gateway_layout']!r})"
+        )
+    networks: List[Network] = []
+    build_seeds: List[int] = []
+    for k, entry in enumerate(entries):
+        build_seed = run_seed + entry["seed_offset"]
+        positions = _node_positions(
+            config, entry["devices"], build_seed, width_m, height_m
+        )
+        networks.append(
+            build_network(
+                network_id=k + 1,
+                num_gateways=entry["gateways"],
+                num_nodes=entry["devices"],
+                channels=channels,
+                seed=build_seed,
+                gateway_id_base=entry["gateway_id_base"],
+                node_id_base=entry["node_id_base"],
+                width_m=width_m,
+                height_m=height_m,
+                node_positions=positions,
+            )
+        )
+        build_seeds.append(build_seed)
+    return _BuiltScenario(
+        networks=networks,
+        build_seeds=build_seeds,
+        grid=grid,
+        channels=channels,
+        link=_link_budget(config),
+        width_m=width_m,
+        height_m=height_m,
+    )
+
+
+def _assign(config: Mapping[str, Any], built: _BuiltScenario) -> None:
+    assignment = config["assignment"]
+    kind = assignment["kind"]
+    count = len(built.networks)
+    for k, net in enumerate(built.networks):
+        chans = _channel_slice(
+            built.channels, k, count, assignment["split_channels"]
+        )
+        if not chans:
+            raise SpecError(
+                "assignment.split_channels: more networks than channels "
+                f"({count} networks over {len(built.channels)} channels)"
+            )
+        seed = built.build_seeds[k]
+        if kind == "orthogonal":
+            assign_orthogonal_combos(net.devices, chans)
+        elif kind == "standard":
+            from ..baselines.standard import apply_standard_lorawan
+
+            apply_standard_lorawan(net, built.grid, seed=seed)
+        elif kind == "homogeneous":
+            assign_plan_homogeneous(
+                net, ChannelPlan(channels=tuple(chans), name="spec"), seed=seed
+            )
+        elif kind == "random":
+            assign_random_channels(net.devices, chans, seed=seed)
+        elif kind != "none":
+            raise SpecError(
+                f"assignment.kind: unknown kind {kind!r} (expected "
+                "orthogonal | standard | homogeneous | random | none)"
+            )
+        tier = assignment["tier"]
+        if tier["enabled"]:
+            assign_tier_by_reach(
+                net,
+                k_nearest=int(tier["k_nearest"]),
+                spread_seed=seed if tier["spread"] else None,
+            )
+
+
+def _fault_plan(config: Mapping[str, Any], run_seed: int) -> Optional[FaultPlan]:
+    doc = config.get("faults") or {}
+    if not doc:
+        return None
+    data = dict(doc)
+    data.setdefault("seed", run_seed)
+    try:
+        return FaultPlan.from_dict(data)
+    except (TypeError, ValueError) as exc:
+        raise SpecError(f"faults: {exc}") from None
+
+
+# -- executors --------------------------------------------------------------
+
+
+def _network_rows(
+    networks: Sequence[Network], result: SimulationResult
+) -> List[Dict[str, Any]]:
+    rows: List[Dict[str, Any]] = []
+    for net in networks:
+        offered = len(net.devices)
+        delivered = result.delivered_count(net.network_id)
+        rows.append(
+            {
+                "network_id": net.network_id,
+                "offered": offered,
+                "delivered": delivered,
+                "dropped": offered - delivered,
+            }
+        )
+    return rows
+
+
+def _execute_capacity(
+    config: Mapping[str, Any], run_seed: int
+) -> Dict[str, Any]:
+    from ..experiments.common import measure_capacity, stagger_duplicate_powers
+
+    built = _build(config, run_seed)
+    _assign(config, built)
+    traffic = config["traffic"]
+    if traffic["kind"] != "capacity_burst":
+        raise SpecError(
+            "traffic.kind: capacity runs use capacity_burst "
+            f"(got {traffic['kind']!r})"
+        )
+    if traffic["stagger_powers"]:
+        for net in built.networks:
+            stagger_duplicate_powers(net.devices)
+    gateways = [gw for net in built.networks for gw in net.gateways]
+    devices = [dev for net in built.networks for dev in net.devices]
+    result = measure_capacity(
+        gateways,
+        devices,
+        link=built.link,
+        payload_bytes=int(traffic["payload_bytes"]),
+        shuffle_seed=run_seed if traffic["shuffle"] else None,
+    )
+    out: Dict[str, Any] = {
+        "kind": "capacity",
+        "offered": len(devices),
+        "delivered": result.delivered_count(),
+        "prr": result.prr(),
+        "networks": _network_rows(built.networks, result),
+    }
+    if config["metrics"]["breakdown"]:
+        out["breakdown"] = breakdown_ratios(result)
+    if config["metrics"]["outcomes"]:
+        out["outcome_counts"] = outcome_counts(result)
+    return out
+
+
+def _make_load_traffic(
+    config: Mapping[str, Any], built: _BuiltScenario, run_seed: int
+) -> List[Any]:
+    from ..experiments.common import emulated_traffic
+
+    traffic = config["traffic"]
+    kind = traffic["kind"]
+    window_s = float(traffic["window_s"])
+    txs: List[Any] = []
+    for k, net in enumerate(built.networks):
+        seed = run_seed + int(traffic["seed_stride"]) * k
+        if kind == "poisson":
+            txs.extend(
+                emulated_traffic(
+                    net.devices,
+                    total_users=int(traffic["users"]),
+                    mean_interval_s=float(traffic["mean_interval_s"]),
+                    window_s=window_s,
+                    seed=seed,
+                )
+            )
+        elif kind == "periodic":
+            txs.extend(
+                periodic_schedule(
+                    net.devices,
+                    window_s=window_s,
+                    period_s=float(traffic["period_s"]),
+                    jitter_s=float(traffic["jitter_s"]),
+                    seed=seed,
+                )
+            )
+        elif kind == "bursty":
+            txs.extend(
+                bursty_schedule(
+                    net.devices,
+                    window_s=window_s,
+                    burst_size=int(traffic["burst_size"]),
+                    burst_interval_s=float(traffic["burst_interval_s"]),
+                    burst_span_s=float(traffic["burst_span_s"]),
+                    seed=seed,
+                )
+            )
+        elif kind == "diurnal":
+            txs.extend(
+                diurnal_schedule(
+                    net.devices,
+                    window_s=window_s,
+                    mean_interval_s=float(traffic["mean_interval_s"]),
+                    peak_ratio=float(traffic["diurnal_peak_ratio"]),
+                    period_s=float(traffic["diurnal_period_s"]),
+                    seed=seed,
+                )
+            )
+        else:
+            raise SpecError(
+                "traffic.kind: load runs use poisson | periodic | bursty "
+                f"| diurnal (got {kind!r})"
+            )
+    txs.sort(key=lambda tx: tx.start_s)
+    return txs
+
+
+def _execute_load(config: Mapping[str, Any], run_seed: int) -> Dict[str, Any]:
+    built = _build(config, run_seed)
+    _assign(config, built)
+    txs = _make_load_traffic(config, built, run_seed)
+    gateways = [gw for net in built.networks for gw in net.gateways]
+    devices = [dev for net in built.networks for dev in net.devices]
+    plan = _fault_plan(config, run_seed)
+    if plan is not None:
+        sim = OnlineSimulator(gateways, devices, link=built.link)
+        result = sim.run_online(txs, fault_plan=plan)
+    else:
+        result = Simulator(gateways, devices, link=built.link).run(txs)
+    out: Dict[str, Any] = {
+        "kind": "load",
+        "offered": len(txs),
+        "delivered": result.delivered_count(),
+        "prr": result.prr(),
+        "networks": _network_rows(built.networks, result),
+    }
+    if config["metrics"]["breakdown"]:
+        out["breakdown"] = breakdown_ratios(result)
+        for row, net in zip(out["networks"], built.networks):
+            row["breakdown"] = breakdown_ratios(result, net.network_id)
+    if config["metrics"]["outcomes"]:
+        out["outcome_counts"] = outcome_counts(result)
+    return out
+
+
+def _execute_chaos(config: Mapping[str, Any], run_seed: int) -> Dict[str, Any]:
+    # Imported lazily: the chaos driver pulls in the whole control
+    # plane, which scenario parsing must not depend on.
+    from ..experiments.chaos import run_chaos
+
+    chaos = config["chaos"]
+    networks = config["networks"]
+    width_m, height_m = _area(config)
+    result = run_chaos(
+        seed=run_seed,
+        fast=bool(config["run"]["fast"]),
+        num_gateways=int(networks["gateways"]),
+        num_nodes=int(networks["devices"]),
+        window_s=float(chaos["window_s"]),
+        bucket_s=float(chaos["bucket_s"]),
+        outage_start_s=float(chaos["outage_start_s"]),
+        outage_s=float(chaos["outage_s"]),
+        upgrade_s=float(chaos["upgrade_s"]),
+        crash_s=float(chaos["crash_s"]),
+        crash_down_s=float(chaos["crash_down_s"]),
+        duty_cycle=float(chaos["duty_cycle"]),
+        width_m=width_m,
+        height_m=height_m,
+        operator=str(chaos["operator"]),
+    )
+    out = dict(result)
+    out["kind"] = "chaos"
+    return out
+
+
+_EXECUTORS = {
+    "capacity": _execute_capacity,
+    "load": _execute_load,
+    "chaos": _execute_chaos,
+}
+
+
+@dataclass(frozen=True)
+class CompiledRun:
+    """One executable run: a resolved config plus its identity."""
+
+    run_id: str
+    index: int
+    seed: int
+    config: Dict[str, Any]
+
+    def execute(self) -> Dict[str, Any]:
+        """Run the scenario; returns the deterministic result dict."""
+        executor = _EXECUTORS[self.config["run"]["kind"]]
+        return executor(self.config, self.seed)
+
+
+def compile_run(run: RunConfig) -> CompiledRun:
+    """Compile one expanded run config into an executable run."""
+    kind = run.config["run"]["kind"]
+    if kind not in _EXECUTORS:
+        raise SpecError(f"run.kind: unknown kind {kind!r}")
+    return CompiledRun(
+        run_id=run.run_id, index=run.index, seed=run.seed, config=run.config
+    )
+
+
+def execute_run(run: RunConfig) -> Dict[str, Any]:
+    """Compile and execute in one step (the campaign worker entry)."""
+    return compile_run(run).execute()
+
+
+def compile_spec(spec: ScenarioSpec) -> List[CompiledRun]:
+    """Compile every run of a spec's expanded sweep grid."""
+    return [compile_run(run) for run in spec.runs()]

@@ -1,0 +1,397 @@
+"""Zero-dependency parser for the scenario-spec YAML subset.
+
+Scenario files are plain data: nested mappings, block and inline
+lists, and scalars.  That subset — everything the shipped specs and
+the terragraph-style ``defaults.yaml`` idiom need — is parsed here
+with no third-party dependency, so specs load in any environment the
+simulator runs in.  Files whose first non-blank character is ``{`` or
+``[`` are treated as JSON (JSON is a YAML subset, and some tools emit
+resolved specs that way).
+
+Supported syntax:
+
+* mappings: ``key: value`` with nesting by indentation
+* block lists: ``- item`` (scalars or nested mappings)
+* inline collections: ``[a, b, c]``, ``{a: 1, b: 2}``, ``[]``, ``{}``
+* scalars: integers, floats (including exponent forms and ``inf``),
+  booleans (``true``/``false``), ``null``/``~``, quoted and bare
+  strings
+* comments: full-line and trailing ``#`` (quote-aware)
+
+Anchors, aliases, multi-document streams, block scalars (``|``/``>``)
+and flow mappings spanning lines are **not** supported; a
+:class:`YamlError` names the offending line.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, List, Optional, Tuple
+
+__all__ = ["YamlError", "parse_yaml", "load_yaml", "dump_yaml"]
+
+
+class YamlError(ValueError):
+    """A scenario file failed to parse; carries file/line context."""
+
+    def __init__(
+        self, message: str, filename: str = "<string>", line: int = 0
+    ) -> None:
+        self.filename = filename
+        self.line = line
+        super().__init__(f"{filename}:{line}: {message}")
+
+
+class _Line:
+    __slots__ = ("indent", "text", "number")
+
+    def __init__(self, indent: int, text: str, number: int):
+        self.indent = indent
+        self.text = text
+        self.number = number
+
+
+def _strip_comment(text: str) -> str:
+    """Drop a trailing comment, respecting quoted strings."""
+    quote: Optional[str] = None
+    for i, ch in enumerate(text):
+        if quote:
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+        elif ch == "#" and (i == 0 or text[i - 1] in " \t"):
+            return text[:i].rstrip()
+    return text.rstrip()
+
+
+def _logical_lines(text: str, filename: str) -> List[_Line]:
+    lines: List[_Line] = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        if "\t" in raw[: len(raw) - len(raw.lstrip())]:
+            raise YamlError("tabs are not allowed in indentation", filename, number)
+        stripped = _strip_comment(raw)
+        if not stripped.strip():
+            continue
+        indent = len(stripped) - len(stripped.lstrip(" "))
+        lines.append(_Line(indent, stripped.strip(), number))
+    return lines
+
+
+_BOOLS = {"true": True, "false": False, "True": True, "False": False}
+_NULLS = {"null", "~", "None"}
+
+
+def _parse_scalar(token: str, filename: str, line: int) -> Any:
+    token = token.strip()
+    if not token:
+        return None
+    if token in _NULLS:
+        return None
+    if token in _BOOLS:
+        return _BOOLS[token]
+    if (token[0] == token[-1] == '"' or token[0] == token[-1] == "'") and len(
+        token
+    ) >= 2:
+        body = token[1:-1]
+        if token[0] == '"':
+            try:
+                return json.loads(token)
+            except json.JSONDecodeError:
+                pass
+        return body
+    if token.startswith("[") or token.startswith("{"):
+        return _parse_inline(token, filename, line)
+    try:
+        return int(token, 0) if not token.lstrip("+-").startswith("0x") else int(
+            token, 16
+        )
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    return token
+
+
+def _split_inline(body: str, filename: str, line: int) -> List[str]:
+    """Split a flow-collection body on top-level commas."""
+    parts: List[str] = []
+    depth = 0
+    quote: Optional[str] = None
+    current = []
+    for ch in body:
+        if quote:
+            current.append(ch)
+            if ch == quote:
+                quote = None
+            continue
+        if ch in "'\"":
+            quote = ch
+            current.append(ch)
+        elif ch in "[{":
+            depth += 1
+            current.append(ch)
+        elif ch in "]}":
+            depth -= 1
+            if depth < 0:
+                raise YamlError("unbalanced brackets", filename, line)
+            current.append(ch)
+        elif ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if quote is not None:
+        raise YamlError("unterminated quoted string", filename, line)
+    if depth != 0:
+        raise YamlError("unbalanced brackets", filename, line)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def _parse_inline(token: str, filename: str, line: int) -> Any:
+    token = token.strip()
+    if token.startswith("[") and token.endswith("]"):
+        body = token[1:-1].strip()
+        if not body:
+            return []
+        return [
+            _parse_scalar(part, filename, line)
+            for part in _split_inline(body, filename, line)
+        ]
+    if token.startswith("{") and token.endswith("}"):
+        body = token[1:-1].strip()
+        if not body:
+            return {}
+        out = {}
+        for part in _split_inline(body, filename, line):
+            key, sep, value = part.partition(":")
+            if not sep:
+                raise YamlError(
+                    f"expected 'key: value' in inline mapping, got {part.strip()!r}",
+                    filename,
+                    line,
+                )
+            out[_parse_scalar(key, filename, line)] = _parse_scalar(
+                value, filename, line
+            )
+        return out
+    raise YamlError(f"unterminated flow collection: {token!r}", filename, line)
+
+
+def _split_key(text: str, filename: str, line: int) -> Optional[Tuple[str, str]]:
+    """Split ``key: value`` at the first top-level colon, or None."""
+    quote: Optional[str] = None
+    depth = 0
+    for i, ch in enumerate(text):
+        if quote:
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+        elif ch in "[{":
+            depth += 1
+        elif ch in "]}":
+            depth -= 1
+        elif ch == ":" and depth == 0 and (i + 1 == len(text) or text[i + 1] == " "):
+            return text[:i].strip(), text[i + 1 :].strip()
+    return None
+
+
+class _Parser:
+    def __init__(self, lines: List[_Line], filename: str):
+        self.lines = lines
+        self.filename = filename
+        self.pos = 0
+
+    def peek(self) -> Optional[_Line]:
+        return self.lines[self.pos] if self.pos < len(self.lines) else None
+
+    def _error(self, message: str, line: _Line) -> YamlError:
+        return YamlError(message, self.filename, line.number)
+
+    def parse_block(self, indent: int) -> Any:
+        line = self.peek()
+        if line is None:
+            return None
+        if line.text.startswith("- ") or line.text == "-":
+            return self.parse_list(line.indent)
+        return self.parse_mapping(line.indent)
+
+    def parse_mapping(self, indent: int) -> dict:
+        out: dict = {}
+        while True:
+            line = self.peek()
+            if line is None or line.indent < indent:
+                return out
+            if line.indent > indent:
+                raise self._error(
+                    f"unexpected indent (expected {indent} spaces)", line
+                )
+            if line.text.startswith("- "):
+                raise self._error("list item in a mapping context", line)
+            kv = _split_key(line.text, self.filename, line.number)
+            if kv is None:
+                raise self._error(
+                    f"expected 'key: value', got {line.text!r}", line
+                )
+            key, value = kv
+            key_obj = _parse_scalar(key, self.filename, line.number)
+            if key_obj in out:
+                raise self._error(f"duplicate key {key!r}", line)
+            self.pos += 1
+            if value:
+                out[key_obj] = _parse_scalar(value, self.filename, line.number)
+            else:
+                nxt = self.peek()
+                if nxt is not None and nxt.indent > indent:
+                    out[key_obj] = self.parse_block(nxt.indent)
+                elif (
+                    nxt is not None
+                    and nxt.indent == indent
+                    and (nxt.text.startswith("- ") or nxt.text == "-")
+                ):
+                    # Lists may sit at the same indent as their key.
+                    out[key_obj] = self.parse_list(indent)
+                else:
+                    out[key_obj] = None
+        return out
+
+    def parse_list(self, indent: int) -> list:
+        out: list = []
+        while True:
+            line = self.peek()
+            if line is None or line.indent < indent:
+                return out
+            if line.indent > indent or not (
+                line.text.startswith("- ") or line.text == "-"
+            ):
+                raise self._error("expected a '- ' list item", line)
+            item_text = line.text[2:].strip() if line.text != "-" else ""
+            if item_text and _split_key(item_text, self.filename, line.number):
+                # "- key: value": a mapping folded onto the dash line.
+                # Rewrite the line as the mapping's first entry at the
+                # dash-body indent and parse the mapping from there.
+                body_indent = line.indent + 2
+                self.lines[self.pos] = _Line(
+                    body_indent, item_text, line.number
+                )
+                out.append(self.parse_mapping(body_indent))
+            elif item_text:
+                self.pos += 1
+                out.append(_parse_scalar(item_text, self.filename, line.number))
+            else:
+                self.pos += 1
+                nxt = self.peek()
+                if nxt is not None and nxt.indent > line.indent:
+                    out.append(self.parse_block(nxt.indent))
+                else:
+                    out.append(None)
+        return out
+
+
+def parse_yaml(text: str, filename: str = "<string>") -> Any:
+    """Parse scenario-subset YAML (or JSON) text into plain objects."""
+    head = text.lstrip()[:1]
+    if head in ("{", "["):
+        try:
+            return json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise YamlError(str(exc), filename, exc.lineno) from None
+    lines = _logical_lines(text, filename)
+    if not lines:
+        return {}
+    if lines[0].indent != 0:
+        raise YamlError(
+            "top-level content must start at column 0", filename, lines[0].number
+        )
+    parser = _Parser(lines, filename)
+    result = parser.parse_block(0)
+    trailing = parser.peek()
+    if trailing is not None:
+        raise YamlError(
+            f"unparsed trailing content: {trailing.text!r}",
+            filename,
+            trailing.number,
+        )
+    return result
+
+
+def load_yaml(path: str) -> Any:
+    """Parse a YAML/JSON scenario file from disk."""
+    with open(path) as fh:
+        return parse_yaml(fh.read(), filename=path)
+
+
+def _dump(value: Any, indent: int, lines: List[str]) -> None:
+    pad = " " * indent
+    if isinstance(value, dict):
+        for key, val in value.items():
+            if isinstance(val, dict) and val:
+                lines.append(f"{pad}{key}:")
+                _dump(val, indent + 2, lines)
+            elif isinstance(val, list) and val and any(
+                isinstance(item, (dict, list)) for item in val
+            ):
+                lines.append(f"{pad}{key}:")
+                _dump(val, indent + 2, lines)
+            else:
+                lines.append(f"{pad}{key}: {_scalar_repr(val)}")
+    elif isinstance(value, list):
+        for item in value:
+            if isinstance(item, dict) and item:
+                first = True
+                for key, val in item.items():
+                    prefix = f"{pad}- " if first else f"{pad}  "
+                    first = False
+                    if isinstance(val, (dict, list)) and val:
+                        lines.append(f"{prefix}{key}:")
+                        _dump(val, indent + 4, lines)
+                    else:
+                        lines.append(f"{prefix}{key}: {_scalar_repr(val)}")
+            else:
+                lines.append(f"{pad}- {_scalar_repr(item)}")
+
+
+def _scalar_repr(value: Any) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        needs_quotes = (
+            value == ""
+            or value != value.strip()
+            or any(ch in value for ch in ":#[]{},'\"\n")
+            or value in _NULLS
+            or value in _BOOLS
+        )
+        return json.dumps(value) if needs_quotes else value
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_scalar_repr(v) for v in value) + "]"
+    if isinstance(value, dict):
+        if not value:
+            return "{}"
+        return (
+            "{"
+            + ", ".join(f"{k}: {_scalar_repr(v)}" for k, v in value.items())
+            + "}"
+        )
+    return repr(value)
+
+
+def dump_yaml(value: Any) -> str:
+    """Render plain objects back to the supported YAML subset.
+
+    ``parse_yaml(dump_yaml(x)) == x`` for JSON-safe values; used to
+    copy resolved specs into campaign directories.
+    """
+    if not isinstance(value, (dict, list)):
+        return _scalar_repr(value) + "\n"
+    lines: List[str] = []
+    _dump(value, 0, lines)
+    return "\n".join(lines) + "\n"

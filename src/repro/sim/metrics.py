@@ -34,6 +34,7 @@ __all__ = [
     "classify_loss",
     "LossBreakdown",
     "loss_breakdown",
+    "breakdown_ratios",
     "throughput_bps",
     "spectrum_utilization",
     "service_ratio",
@@ -174,6 +175,26 @@ def loss_breakdown(
         breakdown.offered += 1
         breakdown.counts[classify_loss(tx, result, collision_index=index)] += 1
     return breakdown
+
+
+def breakdown_ratios(
+    result: SimulationResult, network_id: Optional[int] = None
+) -> Dict[str, float]:
+    """Loss breakdown as the experiments' flat report row.
+
+    The shared shape of every Figure 4-style series and of scenario
+    run results: offered count, PRR, and the per-cause loss ratios.
+    """
+    b = loss_breakdown(result, network_id=network_id)
+    return {
+        "offered": b.offered,
+        "prr": b.prr,
+        "decoder_intra": b.ratio(LossCause.DECODER_INTRA),
+        "decoder_inter": b.ratio(LossCause.DECODER_INTER),
+        "channel_intra": b.ratio(LossCause.CHANNEL_INTRA),
+        "channel_inter": b.ratio(LossCause.CHANNEL_INTER),
+        "other": b.ratio(LossCause.OTHER),
+    }
 
 
 def throughput_bps(

@@ -65,20 +65,30 @@ def build_network(
     height_m: float = AREA_HEIGHT_M,
     default_dr: DataRate = DataRate.DR2,
     tx_power_dbm: float = 14.0,
+    node_positions: Optional[Sequence[Position]] = None,
 ) -> Network:
     """Create a network with grid gateways and uniformly scattered nodes.
 
     Every gateway starts with the same ``channels`` configuration (the
     homogeneous status quo); nodes start on a round-robin channel from
-    the same set.  Planners reconfigure both afterwards.
+    the same set.  Planners reconfigure both afterwards.  Passing
+    ``node_positions`` (one per node) overrides the default uniform
+    scatter — the scenario compiler uses it for clustered and imported
+    device layouts.
     """
     if not channels:
         raise ValueError("need at least one channel")
     model = model or get_model()
     gw_positions = grid_positions(num_gateways, width_m, height_m)
-    node_positions = uniform_positions(
-        num_nodes, seed=seed, width_m=width_m, height_m=height_m
-    )
+    if node_positions is None:
+        node_positions = uniform_positions(
+            num_nodes, seed=seed, width_m=width_m, height_m=height_m
+        )
+    elif len(node_positions) != num_nodes:
+        raise ValueError(
+            f"node_positions has {len(node_positions)} entries "
+            f"for {num_nodes} nodes"
+        )
     gateways = [
         Gateway(
             gateway_id=gateway_id_base + i,

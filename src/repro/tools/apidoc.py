@@ -29,6 +29,8 @@ PACKAGES = [
     "repro.core",
     "repro.analysis",
     "repro.experiments",
+    "repro.scenarios",
+    "repro.campaign",
     "repro.obs",
     "repro.tools",
 ]

@@ -11,6 +11,10 @@ Usage::
     python -m repro.tools trace render chaos.jsonl --bucket-s 2
     python -m repro.tools trace diff a.jsonl b.jsonl
     python -m repro.tools regress a.jsonl b.jsonl --rel-tol 0.1
+    python -m repro.tools campaign run scenarios/fig02.yaml --jobs 4
+    python -m repro.tools campaign status campaigns/fig02
+    python -m repro.tools campaign report campaigns/fig02 --json report.json
+    python -m repro.tools campaign diff campaigns/fig02 other/fig02
     python -m repro.tools watch --trace chaos.jsonl --once
     python -m repro.tools drill --seed 7 --max-recovery-s 2.0
     python -m repro.tools lint src tests --format json
@@ -22,7 +26,9 @@ observability session and exports the JSONL trace / Prometheus
 snapshot.  ``render`` draws the headline series as an ASCII chart.
 ``trace`` inspects a previously written JSONL trace (``diff`` compares
 two).  ``regress`` compares two run artifacts against tolerances and
-exits non-zero on drift.  ``watch`` renders a live health dashboard
+exits non-zero on drift.  ``campaign`` compiles a declarative scenario
+spec (:mod:`repro.scenarios`) into its seeded sweep grid and runs it in
+parallel with crash-tolerant resume (:mod:`repro.campaign`).  ``watch`` renders a live health dashboard
 from an exporter URL or a growing trace file.  ``drill`` runs the
 Master failover drill (:func:`repro.faults.drill.run_drill`): crash
 the Master mid-campaign, recover from snapshot + journal, exit
@@ -276,6 +282,64 @@ def _regress_command(args) -> int:
     return 0
 
 
+def _campaign_command(args) -> int:
+    from ..campaign import (
+        CampaignError,
+        campaign_diff,
+        campaign_report,
+        campaign_status,
+        run_campaign,
+    )
+    from ..scenarios import SpecError, YamlError, load_spec
+
+    def emit(payload: Dict, json_path: Optional[str]) -> None:
+        text = json.dumps(payload, indent=2, default=str)
+        if json_path:
+            with open(json_path, "w") as fh:
+                fh.write(text + "\n")
+            print(f"wrote {json_path}", file=sys.stderr)
+        else:
+            print(text)
+
+    try:
+        if args.campaign_command == "run":
+            spec = load_spec(args.spec)
+            out_dir = args.out_dir or os.path.join("campaigns", spec.name)
+            summary = run_campaign(
+                spec,
+                out_dir,
+                jobs=args.jobs,
+                resume=not args.no_resume,
+                progress=lambda msg: print(msg, file=sys.stderr),
+            )
+            emit(summary, args.json_path)
+            return 1 if summary["failed"] else 0
+        if args.campaign_command == "status":
+            status = campaign_status(args.dir)
+            emit(status, args.json_path)
+            return 0
+        if args.campaign_command == "report":
+            emit(campaign_report(args.dir), args.json_path)
+            return 0
+        if args.campaign_command == "diff":
+            report = campaign_diff(
+                args.dir_a,
+                args.dir_b,
+                default=Tolerance(rel_tol=args.rel_tol, abs_tol=args.abs_tol),
+            )
+            emit(report, args.json_path)
+            if report["status"] != "pass":
+                for run in report["runs"]:
+                    if run["status"] != "pass":
+                        print(f"campaign diff: run {run['key']} drifted", file=sys.stderr)
+                return 1
+            return 0
+    except (OSError, CampaignError, SpecError, YamlError) as exc:
+        print(f"campaign: {exc}", file=sys.stderr)
+        return 2
+    return 2
+
+
 def _drill_bench_record(manifest, report, session) -> Dict:
     """One BENCH-trajectory record for a failover drill run.
 
@@ -519,6 +583,64 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="render a single frame and exit (same as --frames 1)",
     )
 
+    campaign_p = sub.add_parser(
+        "campaign",
+        help="compile a scenario spec and run/inspect its sweep campaign",
+    )
+    campaign_sub = campaign_p.add_subparsers(dest="campaign_command", required=True)
+    crun_p = campaign_sub.add_parser(
+        "run", help="execute every pending run of a scenario spec"
+    )
+    crun_p.add_argument("spec", help="scenario spec file (.yaml or .json)")
+    crun_p.add_argument(
+        "--out",
+        dest="out_dir",
+        default=None,
+        help="campaign directory (default campaigns/<spec name>)",
+    )
+    crun_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="parallel worker processes (default 1; results identical)",
+    )
+    crun_p.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="re-execute runs even when their results already exist",
+    )
+    crun_p.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        help="write the run summary to this file instead of stdout",
+    )
+    cstat_p = campaign_sub.add_parser(
+        "status", help="grid completion of a campaign directory"
+    )
+    cstat_p.add_argument("dir")
+    cstat_p.add_argument("--json", dest="json_path", default=None)
+    crep_p = campaign_sub.add_parser(
+        "report", help="per-run rows + aggregates over finished runs"
+    )
+    crep_p.add_argument("dir")
+    crep_p.add_argument("--json", dest="json_path", default=None)
+    cdiff_p = campaign_sub.add_parser(
+        "diff", help="regression-check one campaign against another"
+    )
+    cdiff_p.add_argument("dir_a")
+    cdiff_p.add_argument("dir_b")
+    cdiff_p.add_argument(
+        "--rel-tol",
+        type=float,
+        default=0.05,
+        help="default relative tolerance (fraction, default 0.05)",
+    )
+    cdiff_p.add_argument(
+        "--abs-tol", type=float, default=1e-9, help="default absolute tolerance"
+    )
+    cdiff_p.add_argument("--json", dest="json_path", default=None)
+
     drill_p = sub.add_parser(
         "drill",
         help="failover drill: crash + recover the Master, assert safety",
@@ -626,6 +748,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             interval_s=args.interval_s,
             frames=1 if args.once else args.frames,
         )
+
+    if args.command == "campaign":
+        return _campaign_command(args)
 
     if args.command == "drill":
         return _drill_command(args)

@@ -1,0 +1,100 @@
+"""Report/diff layer tests over real campaign directories."""
+
+from repro.campaign import (
+    CampaignStore,
+    campaign_diff,
+    campaign_report,
+    campaign_status,
+    run_campaign,
+)
+from repro.obs.regress import Tolerance
+from repro.scenarios import parse_spec
+
+SPEC = (
+    "meta: {name: rep}\n"
+    "run: {seed_stride: 1}\n"
+    "networks: {devices: 4}\n"
+    "sweep:\n"
+    "  networks.devices: [4, 8]\n"
+)
+
+
+def _run(tmp_path, name="c", text=SPEC):
+    out = str(tmp_path / name)
+    run_campaign(parse_spec(text, "rep.yaml"), out, jobs=1)
+    return out
+
+
+class TestStatusAndReport:
+    def test_status_counts(self, tmp_path):
+        out = _run(tmp_path)
+        status = campaign_status(out)
+        assert status["total"] == 2
+        assert status["completed"] == 2
+        assert status["pending"] == 0
+
+    def test_report_rows_and_aggregates(self, tmp_path):
+        out = _run(tmp_path)
+        report = campaign_report(out)
+        assert [row["index"] for row in report["rows"]] == [0, 1]
+        assert [row["offered"] for row in report["rows"]] == [4, 8]
+        assert report["rows"][0]["overrides"] == {"networks.devices": 4}
+        assert report["aggregates"]["offered"]["max"] == 8.0
+        assert all(row["wall_time_s"] is not None for row in report["rows"])
+
+
+class TestDiff:
+    def test_same_campaign_passes_at_zero_tolerance(self, tmp_path):
+        a = _run(tmp_path, "a")
+        b = _run(tmp_path, "b")
+        report = campaign_diff(a, b, default=Tolerance(rel_tol=0.0, abs_tol=0.0))
+        assert report["status"] == "pass"
+        assert report["paired_by"] == "run_id"
+
+    def test_tampered_result_fails(self, tmp_path):
+        a = _run(tmp_path, "a")
+        b = _run(tmp_path, "b")
+        store = CampaignStore(b)
+        rid = sorted(store.completed_run_ids())[0]
+        rec = store.read_result(rid)
+        rec["result"]["delivered"] += 1
+        store.write_result(rec)
+        report = campaign_diff(a, b, default=Tolerance(rel_tol=0.0, abs_tol=0.0))
+        assert report["status"] == "fail"
+        failing = [r for r in report["runs"] if r["status"] == "fail"]
+        assert len(failing) == 1
+        assert any(
+            c["metric"] == "delivered" for c in failing[0]["regressions"]
+        )
+
+    def test_one_sided_run_is_a_failure(self, tmp_path):
+        import os
+
+        a = _run(tmp_path, "a")
+        b = _run(tmp_path, "b")
+        store = CampaignStore(b)
+        os.remove(store.run_path(sorted(store.completed_run_ids())[0]))
+        report = campaign_diff(a, b)
+        assert report["status"] == "fail"
+        assert any(r.get("reason") for r in report["runs"])
+
+    def test_different_specs_pair_by_index(self, tmp_path):
+        a = _run(tmp_path, "a")
+        other = SPEC.replace("seed_stride: 1", "seed_stride: 2")
+        b = _run(tmp_path, "b", other)
+        report = campaign_diff(a, b)
+        assert report["paired_by"] == "index"
+
+
+class TestWallClockExclusion:
+    def test_manifest_never_gates_diff(self, tmp_path):
+        a = _run(tmp_path, "a")
+        b = _run(tmp_path, "b")
+        store = CampaignStore(b)
+        rid = sorted(store.completed_run_ids())[0]
+        rec = store.read_result(rid)
+        rec["manifest"]["wall_time_s"] = 999999.0
+        rec["manifest"]["started_at"] = "1970-01-01T00:00:00+00:00"
+        store.write_result(rec)
+        report = campaign_diff(a, b, default=Tolerance(rel_tol=0.0, abs_tol=0.0))
+        assert report["status"] == "pass"

@@ -1,0 +1,83 @@
+"""Runner tests: parallel parity, resume, and failure reporting."""
+
+import os
+
+from repro.campaign import CampaignStore, run_campaign
+from repro.obs.manifest import scrub_wall_fields
+from repro.scenarios import parse_spec
+
+SPEC = (
+    "meta: {name: par}\n"
+    "seed: 0\n"
+    "run: {seed_stride: 1}\n"
+    "networks: {devices: 8}\n"
+    "traffic: {shuffle: true}\n"
+    "sweep:\n"
+    "  networks.devices: [6, 10, 14, 18]\n"
+)
+
+
+def _spec(text=SPEC):
+    return parse_spec(text, "par.yaml")
+
+
+def _scrubbed(out_dir):
+    return [
+        {**rec, "manifest": scrub_wall_fields(rec["manifest"])}
+        for rec in CampaignStore(out_dir).results()
+    ]
+
+
+class TestParallelParity:
+    def test_jobs2_identical_to_jobs1_modulo_wall_clock(self, tmp_path):
+        d1, d2 = str(tmp_path / "j1"), str(tmp_path / "j2")
+        s1 = run_campaign(_spec(), d1, jobs=1)
+        s2 = run_campaign(_spec(), d2, jobs=2)
+        assert s1["total"] == s2["total"] == 4
+        assert not s1["failed"] and not s2["failed"]
+        assert _scrubbed(d1) == _scrubbed(d2)
+
+
+class TestResume:
+    def test_missing_runs_reexecute_done_runs_skip(self, tmp_path):
+        out = str(tmp_path / "c")
+        first = run_campaign(_spec(), out, jobs=1)
+        assert first["skipped"] == 0 and len(first["executed"]) == 4
+        store = CampaignStore(out)
+        victims = sorted(store.completed_run_ids())[:2]
+        baseline = {rid: store.read_result(rid) for rid in victims}
+        os.remove(store.run_path(victims[0]))
+        # Torn file: must be treated as missing and re-run.
+        with open(store.run_path(victims[1]), "w") as fh:
+            fh.write("{")
+        second = run_campaign(_spec(), out, jobs=1)
+        assert second["skipped"] == 2
+        assert sorted(second["executed"]) == victims
+        for rid in victims:
+            rec = store.read_result(rid)
+            assert rec is not None
+            assert rec["result"] == baseline[rid]["result"]
+
+    def test_no_resume_reexecutes_everything(self, tmp_path):
+        out = str(tmp_path / "c")
+        run_campaign(_spec(), out, jobs=1)
+        again = run_campaign(_spec(), out, jobs=1, resume=False)
+        assert again["skipped"] == 0 and len(again["executed"]) == 4
+
+
+class TestFailures:
+    def test_failing_run_reported_not_fatal(self, tmp_path):
+        # 9 networks over 8 channels with a contiguous split: one run
+        # cannot compile; the others must still complete.
+        text = (
+            "meta: {name: mix}\n"
+            "networks: {count: 1, devices: 4}\n"
+            "assignment: {split_channels: contiguous}\n"
+            "sweep:\n"
+            "  networks.count: [1, 9]\n"
+        )
+        out = str(tmp_path / "c")
+        summary = run_campaign(parse_spec(text, "mix.yaml"), out, jobs=1)
+        assert len(summary["failed"]) == 1
+        assert "split_channels" in summary["failed"][0]["error"]
+        assert summary["completed"] == 1

@@ -1,0 +1,97 @@
+"""Store-layer tests: atomicity, torn records, index discipline."""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign.store import CampaignError, CampaignStore
+from repro.scenarios import parse_spec
+
+SPEC = "meta: {name: t}\nnetworks: {devices: 2}\nsweep:\n  networks.devices: [2, 4]\n"
+
+
+def _spec(text=SPEC):
+    return parse_spec(text, "t.yaml")
+
+
+class TestLifecycle:
+    def test_initialize_writes_index_and_resolved_spec(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "c"))
+        index = store.initialize(_spec())
+        assert index["name"] == "t"
+        assert len(index["runs"]) == 2
+        assert os.path.exists(store.index_path)
+        assert os.path.exists(store.spec_path)
+        # The resolved-spec copy parses back to the resolved config.
+        from repro.scenarios.yamlparse import load_yaml
+
+        assert load_yaml(store.spec_path)["networks"]["devices"] == 2
+
+    def test_reopen_same_digest_is_idempotent(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "c"))
+        a = store.initialize(_spec())
+        b = store.initialize(_spec())
+        assert a == b
+
+    def test_reopen_different_spec_rejected(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "c"))
+        store.initialize(_spec())
+        other = _spec("meta: {name: t}\nnetworks: {devices: 3}\n")
+        with pytest.raises(CampaignError, match="digest"):
+            store.initialize(other)
+
+    def test_status_requires_index(self, tmp_path):
+        with pytest.raises(CampaignError, match="no campaign"):
+            CampaignStore(str(tmp_path / "void")).status()
+
+
+class TestRecords:
+    def _ready(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "c"))
+        spec = _spec()
+        store.initialize(spec)
+        return store, spec.runs()
+
+    def test_write_read_round_trip(self, tmp_path):
+        store, runs = self._ready(tmp_path)
+        record = {"run_id": runs[0].run_id, "index": 0, "result": {"prr": 1.0}}
+        store.write_result(record)
+        assert store.read_result(runs[0].run_id) == record
+
+    def test_torn_record_reads_as_missing(self, tmp_path):
+        store, runs = self._ready(tmp_path)
+        store.write_result({"run_id": runs[0].run_id, "index": 0, "result": {}})
+        with open(store.run_path(runs[0].run_id), "w") as fh:
+            fh.write('{"run_id": "trunc')  # simulated mid-write crash
+        assert store.read_result(runs[0].run_id) is None
+        assert store.completed_run_ids() == set()
+
+    def test_status_derives_from_run_files(self, tmp_path):
+        store, runs = self._ready(tmp_path)
+        assert store.status()["completed"] == 0
+        store.write_result({"run_id": runs[1].run_id, "index": 1, "result": {}})
+        status = store.status()
+        assert status["completed"] == 1 and status["pending"] == 1
+        done = {r["run_id"]: r["done"] for r in status["runs"]}
+        assert done == {runs[0].run_id: False, runs[1].run_id: True}
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        store, runs = self._ready(tmp_path)
+        store.write_result({"run_id": runs[0].run_id, "index": 0, "result": {}})
+        leftovers = [n for n in os.listdir(store.runs_dir) if ".tmp." in n]
+        assert leftovers == []
+
+    def test_results_ordered_by_index(self, tmp_path):
+        store, runs = self._ready(tmp_path)
+        store.write_result({"run_id": runs[1].run_id, "index": 1, "result": {}})
+        store.write_result({"run_id": runs[0].run_id, "index": 0, "result": {}})
+        assert [r["index"] for r in store.results()] == [0, 1]
+
+    def test_unreadable_index_raises(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "c"))
+        store.initialize(_spec())
+        with open(store.index_path, "w") as fh:
+            fh.write("not json")
+        with pytest.raises(CampaignError, match="unreadable"):
+            store.read_index()

@@ -1,0 +1,66 @@
+"""The ISSUE acceptance criterion, verbatim and automated.
+
+``repro.tools campaign run scenarios/fig02.yaml --jobs 4`` must produce
+results identical (modulo wall-clock fields) to ``--jobs 1`` and to the
+legacy ``experiments/fig02.py`` run at the same seed — exercised here
+through the real CLI entry point, not the library shortcut.
+"""
+
+import os
+
+import pytest
+
+from repro.campaign import CampaignStore
+from repro.obs.manifest import scrub_wall_fields
+from repro.tools.cli import main
+
+SPEC = os.path.join(
+    os.path.dirname(__file__), "..", "..", "scenarios", "fig02.yaml"
+)
+
+
+@pytest.fixture(scope="module")
+def campaigns(tmp_path_factory):
+    root = tmp_path_factory.mktemp("fig02-campaigns")
+    d4, d1 = str(root / "jobs4"), str(root / "jobs1")
+    assert main(["campaign", "run", SPEC, "--out", d4, "--jobs", "4"]) == 0
+    assert main(["campaign", "run", SPEC, "--out", d1, "--jobs", "1"]) == 0
+    return d1, d4
+
+
+def _scrubbed(out_dir):
+    return [
+        {**rec, "manifest": scrub_wall_fields(rec["manifest"])}
+        for rec in CampaignStore(out_dir).results()
+    ]
+
+
+class TestFig02Acceptance:
+    def test_jobs4_identical_to_jobs1_modulo_wall_clock(self, campaigns):
+        d1, d4 = campaigns
+        runs_1, runs_4 = _scrubbed(d1), _scrubbed(d4)
+        assert len(runs_1) == len(runs_4) == 18
+        assert runs_1 == runs_4
+
+    def test_campaign_matches_legacy_script(self, campaigns):
+        from repro.experiments.fig02 import run_fig2a
+
+        d1, _ = campaigns
+        legacy = run_fig2a(seed=0)
+        store = CampaignStore(d1)
+        by_combo = {}
+        for rec in store.results():
+            overrides = rec["overrides"]
+            key = (overrides["networks.gateways"], overrides["networks.devices"])
+            by_combo[key] = rec["result"]["delivered"]
+        for i, n in enumerate(legacy["n"]):
+            assert by_combo[(1, n)] == legacy["gw1"][i]
+            assert by_combo[(3, n)] == legacy["gw3"][i]
+
+    def test_cli_diff_passes_at_zero_tolerance(self, campaigns, capsys):
+        d1, d4 = campaigns
+        code = main(
+            ["campaign", "diff", d1, d4, "--rel-tol", "0", "--abs-tol", "0"]
+        )
+        capsys.readouterr()
+        assert code == 0

@@ -1,0 +1,94 @@
+"""Unit tests for the spec-facing traffic models and topology layouts."""
+
+from repro.node.traffic import bursty_schedule, diurnal_schedule, periodic_schedule
+from repro.phy.regions import TESTBED_16
+from repro.sim.scenario import build_network
+from repro.sim.topology import clustered_positions, imported_positions
+
+
+def _devices(n=4):
+    net = build_network(
+        network_id=1,
+        num_gateways=1,
+        num_nodes=n,
+        channels=TESTBED_16.grid().channels(),
+        seed=0,
+        width_m=200.0,
+        height_m=200.0,
+    )
+    return net.devices
+
+
+class TestPeriodic:
+    def test_each_device_transmits_each_period(self):
+        devs = _devices(3)
+        txs = periodic_schedule(devs, window_s=30.0, period_s=10.0, jitter_s=0.0, seed=1)
+        assert len(txs) == 9  # 3 devices x 3 periods
+        assert txs == sorted(txs, key=lambda t: t.start_s)
+
+    def test_jitter_is_seed_deterministic(self):
+        devs = _devices(2)
+        a = periodic_schedule(devs, window_s=20.0, period_s=5.0, jitter_s=1.0, seed=7)
+        b = periodic_schedule(_devices(2), window_s=20.0, period_s=5.0, jitter_s=1.0, seed=7)
+        assert [t.start_s for t in a] == [t.start_s for t in b]
+
+
+class TestBursty:
+    def test_bursts_cluster_in_time(self):
+        devs = _devices(4)
+        txs = bursty_schedule(
+            devs, window_s=60.0, burst_size=3, burst_interval_s=5.0,
+            burst_span_s=0.5, seed=2,
+        )
+        # Poisson triggers each fire burst_size packets inside the span.
+        assert txs and len(txs) % 3 == 0
+        assert txs == sorted(txs, key=lambda t: t.start_s)
+        starts = [t.start_s for t in txs]
+        for i in range(0, len(starts), 3):
+            assert starts[i + 2] - starts[i] <= 0.5
+
+    def test_bursty_is_seed_deterministic(self):
+        a = bursty_schedule(_devices(3), window_s=30.0, seed=5, burst_interval_s=5.0)
+        b = bursty_schedule(_devices(3), window_s=30.0, seed=5, burst_interval_s=5.0)
+        assert [t.start_s for t in a] == [t.start_s for t in b]
+
+
+class TestDiurnal:
+    def test_rate_modulation_produces_traffic(self):
+        devs = _devices(3)
+        txs = diurnal_schedule(
+            devs, window_s=100.0, mean_interval_s=10.0, peak_ratio=4.0,
+            period_s=100.0, seed=3,
+        )
+        assert txs
+        assert all(0.0 <= t.start_s < 100.0 for t in txs)
+        again = diurnal_schedule(
+            _devices(3), window_s=100.0, mean_interval_s=10.0, peak_ratio=4.0,
+            period_s=100.0, seed=3,
+        )
+        assert [t.start_s for t in txs] == [t.start_s for t in again]
+
+
+class TestTopologyLayouts:
+    def test_clustered_positions_stay_in_bounds(self):
+        pts = clustered_positions(
+            50, seed=1, width_m=100.0, height_m=80.0, clusters=3, spread_m=200.0
+        )
+        assert len(pts) == 50
+        assert all(0.0 <= p.x <= 100.0 and 0.0 <= p.y <= 80.0 for p in pts)
+
+    def test_clustered_is_clustered(self):
+        pts = clustered_positions(
+            40, seed=2, width_m=1000.0, height_m=1000.0, clusters=2, spread_m=10.0
+        )
+        xs = sorted(p.x for p in pts)
+        # Two tight clusters: the span inside each half is far below the area.
+        assert (xs[19] - xs[0] < 100.0) or (xs[-1] - xs[20] < 100.0)
+
+    def test_imported_points_cycle_and_clamp(self):
+        pts = imported_positions(
+            5, [[10.0, 10.0], [5000.0, -3.0]], width_m=100.0, height_m=100.0
+        )
+        assert len(pts) == 5
+        assert pts[0].x == 10.0 and pts[2].x == 10.0  # cycling
+        assert pts[1].x == 100.0 and pts[1].y == 0.0  # clamped

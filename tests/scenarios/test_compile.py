@@ -1,0 +1,167 @@
+"""Compiler unit tests: builders, run kinds, and failure modes."""
+
+import pytest
+
+from repro.scenarios.compile import compile_run, execute_run
+from repro.scenarios.spec import SpecError, expand_sweep, parse_spec, resolve_spec
+
+
+def _one_run(overrides):
+    runs = expand_sweep(resolve_spec(overrides))
+    assert len(runs) == 1
+    return runs[0]
+
+
+class TestCapacityRuns:
+    def test_small_capacity_run(self):
+        res = execute_run(_one_run({"networks": {"devices": 6}}))
+        assert res["kind"] == "capacity"
+        assert res["offered"] == 6
+        assert res["delivered"] == 6
+        assert res["networks"][0]["network_id"] == 1
+
+    def test_deterministic_across_calls(self):
+        run = _one_run({"networks": {"devices": 10}, "traffic": {"shuffle": True}})
+        assert execute_run(run) == execute_run(run)
+
+    def test_metrics_toggles(self):
+        res = execute_run(
+            _one_run(
+                {
+                    "networks": {"devices": 4},
+                    "metrics": {"breakdown": True, "outcomes": True},
+                }
+            )
+        )
+        assert set(res["breakdown"]) == {
+            "offered", "prr", "decoder_intra", "decoder_inter",
+            "channel_intra", "channel_inter", "other",
+        }
+        assert "outcome_counts" in res
+
+
+class TestLoadRuns:
+    def _base(self, traffic):
+        return {
+            "run": {"kind": "load"},
+            "networks": {"devices": 8},
+            "traffic": {"window_s": 10.0, **traffic},
+        }
+
+    @pytest.mark.parametrize(
+        "traffic",
+        [
+            {"kind": "poisson", "users": 40, "mean_interval_s": 10.0},
+            {"kind": "periodic", "period_s": 5.0, "jitter_s": 0.5},
+            {"kind": "bursty", "burst_size": 2, "burst_interval_s": 5.0},
+            {"kind": "diurnal", "mean_interval_s": 4.0},
+        ],
+    )
+    def test_each_traffic_model_runs(self, traffic):
+        res = execute_run(_one_run(self._base(traffic)))
+        assert res["kind"] == "load"
+        assert res["offered"] > 0
+        assert 0.0 <= res["prr"] <= 1.0
+
+    def test_capacity_burst_rejected_for_load(self):
+        with pytest.raises(SpecError, match="traffic.kind"):
+            execute_run(_one_run({"run": {"kind": "load"}}))
+
+    def test_fault_plan_routes_to_online_engine(self):
+        doc = self._base({"kind": "periodic", "period_s": 2.0})
+        doc["faults"] = {
+            "gateway_crashes": [
+                {"time_s": 2.0, "gateway_id": 0, "down_s": 4.0}
+            ]
+        }
+        faulty = execute_run(_one_run(doc))
+        clean = execute_run(_one_run(self._base({"kind": "periodic", "period_s": 2.0})))
+        assert faulty["offered"] == clean["offered"]
+        assert faulty["delivered"] <= clean["delivered"]
+
+
+class TestTopologyLayouts:
+    @pytest.mark.parametrize("layout", ["uniform", "clustered"])
+    def test_layouts_build(self, layout):
+        res = execute_run(
+            _one_run(
+                {
+                    "networks": {"devices": 6},
+                    "topology": {"device_layout": layout},
+                }
+            )
+        )
+        assert res["offered"] == 6
+
+    def test_imported_points(self):
+        res = execute_run(
+            _one_run(
+                {
+                    "networks": {"devices": 4},
+                    "topology": {
+                        "device_layout": "points",
+                        "points": [[10.0, 10.0], [20.0, 20.0]],
+                    },
+                }
+            )
+        )
+        assert res["offered"] == 4
+
+
+class TestAssignments:
+    @pytest.mark.parametrize("kind", ["orthogonal", "standard", "homogeneous", "random"])
+    def test_assignment_kinds(self, kind):
+        res = execute_run(
+            _one_run({"networks": {"devices": 5}, "assignment": {"kind": kind}})
+        )
+        assert res["offered"] == 5
+
+    def test_contiguous_split_needs_enough_channels(self):
+        doc = {
+            "networks": {"count": 9, "devices": 1},
+            "assignment": {"split_channels": "contiguous"},
+        }
+        with pytest.raises(SpecError, match="split_channels"):
+            execute_run(_one_run(doc))
+
+    def test_unknown_band(self):
+        with pytest.raises(SpecError, match="region.band"):
+            execute_run(_one_run({"region": {"band": "MARS900"}}))
+
+    def test_channel_limit_out_of_range(self):
+        with pytest.raises(SpecError, match="region.channels"):
+            execute_run(_one_run({"region": {"channels": 99}}))
+
+
+class TestRegionalPlans:
+    @pytest.mark.parametrize("band", ["US915", "EU868", "AS923"])
+    def test_regional_bands_compile(self, band):
+        # Gateways model 8-channel COTS hardware, so regional plans cap
+        # the grid slice they deploy on.
+        res = execute_run(
+            _one_run(
+                {
+                    "region": {"band": band, "channels": 8},
+                    "networks": {"devices": 4},
+                }
+            )
+        )
+        assert res["offered"] == 4
+
+
+class TestCompiledRun:
+    def test_compile_preserves_identity(self):
+        run = _one_run({"seed": 9, "networks": {"devices": 2}})
+        compiled = compile_run(run)
+        assert compiled.run_id == run.run_id
+        assert compiled.seed == 9
+
+    def test_multi_network_rows(self):
+        spec = parse_spec(
+            "networks:\n  count: 3\n  devices: 4\n  node_id_stride: 1000\n"
+            "  gateway_id_stride: 100\n",
+            "multi.yaml",
+        )
+        res = execute_run(spec.runs()[0])
+        assert [row["network_id"] for row in res["networks"]] == [1, 2, 3]
+        assert sum(row["offered"] for row in res["networks"]) == 12

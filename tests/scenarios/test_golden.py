@@ -1,0 +1,105 @@
+"""Golden tests: shipped specs reproduce the hand-written scripts.
+
+Each shipped spec under ``scenarios/`` must yield *byte-for-byte* the
+numbers of the legacy ``repro.experiments`` driver it ports, at the
+same seed.  These tests are the contract that lets the spec files (and
+the campaign runner on top of them) replace the scripts: any seeding
+drift in the compiler breaks them immediately.
+
+Heavier sweeps run a prefix of their grid against the equivalently
+restricted legacy call — the seeding is per-index, so a prefix match
+is exact, not approximate.
+"""
+
+import os
+
+import pytest
+
+from repro.scenarios import load_spec
+from repro.scenarios.compile import execute_run
+
+SCENARIO_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "scenarios")
+
+
+def _spec(name):
+    return load_spec(os.path.join(SCENARIO_DIR, name))
+
+
+class TestFig2aGolden:
+    def test_full_grid_matches_script(self):
+        from repro.experiments.fig02 import run_fig2a
+
+        legacy = run_fig2a(seed=0)
+        by_combo = {}
+        for run in _spec("fig02.yaml").runs():
+            res = execute_run(run)
+            gw = run.config["networks"]["gateways"]
+            n = run.config["networks"]["devices"]
+            by_combo[(gw, n)] = res["delivered"]
+        for i, n in enumerate(legacy["n"]):
+            assert by_combo[(1, n)] == legacy["gw1"][i]
+            assert by_combo[(3, n)] == legacy["gw3"][i]
+
+
+class TestFig2bGolden:
+    def test_all_settings_match_script(self):
+        from repro.experiments.fig02 import run_fig2b
+
+        legacy = run_fig2b(seed=0)["settings"]
+        for run in _spec("fig02b.yaml").runs():
+            res = execute_run(run)
+            rows = {r["network_id"]: r for r in res["networks"]}
+            want = legacy[run.index]
+            assert rows[1]["offered"] == want["offered_1"]
+            assert rows[2]["offered"] == want["offered_2"]
+            assert rows[1]["delivered"] == want["received_1"]
+            assert rows[2]["delivered"] == want["received_2"]
+            assert rows[1]["dropped"] == want["dropped_1"]
+            assert rows[2]["dropped"] == want["dropped_2"]
+
+
+class TestFig4aGolden:
+    def test_sweep_prefix_matches_script(self):
+        from repro.experiments.fig04 import run_fig4a
+
+        legacy = run_fig4a(seed=0, user_scales=(500, 1000))
+        runs = _spec("fig04.yaml").runs()[:2]
+        for run in runs:
+            res = execute_run(run)
+            i = legacy["users"].index(run.config["traffic"]["users"])
+            assert res["breakdown"] == legacy["breakdown"][i]
+
+
+class TestFig4bGolden:
+    def test_sweep_prefix_matches_script(self):
+        from repro.experiments.fig04 import run_fig4b
+
+        legacy = run_fig4b(seed=0, network_counts=(1, 2))
+        runs = _spec("fig04b.yaml").runs()[:2]
+        for run in runs:
+            res = execute_run(run)
+            i = legacy["networks"].index(run.config["networks"]["count"])
+            assert res["breakdown"] == legacy["breakdown"][i]
+
+
+class TestChaosGolden:
+    def test_chaos_spec_matches_script(self):
+        from repro.experiments.chaos import run_chaos
+
+        legacy = run_chaos(seed=0, fast=True)
+        runs = _spec("chaos.yaml").runs()
+        assert len(runs) == 1
+        res = execute_run(runs[0])
+        assert res.pop("kind") == "chaos"
+        assert res == legacy
+
+
+class TestShippedSpecsParse:
+    @pytest.mark.parametrize(
+        "name", ["fig02.yaml", "fig02b.yaml", "fig04.yaml", "fig04b.yaml", "chaos.yaml", "ci-smoke.yaml"]
+    )
+    def test_spec_parses_and_expands(self, name):
+        spec = _spec(name)
+        runs = spec.runs()
+        assert runs
+        assert len({r.run_id for r in runs}) == len(runs)

@@ -1,0 +1,77 @@
+"""Unit tests for the zero-dependency YAML-subset parser."""
+
+import pytest
+
+from repro.scenarios.yamlparse import YamlError, dump_yaml, parse_yaml
+
+
+class TestScalars:
+    def test_typed_scalars(self):
+        doc = parse_yaml(
+            "a: 1\nb: 2.5\nc: true\nd: false\ne: null\nf: hello\n"
+            'g: "quoted # not comment"\nh: -3\ni: 1e3\n'
+        )
+        assert doc == {
+            "a": 1,
+            "b": 2.5,
+            "c": True,
+            "d": False,
+            "e": None,
+            "f": "hello",
+            "g": "quoted # not comment",
+            "h": -3,
+            "i": 1000.0,
+        }
+
+    def test_comments_and_blanks(self):
+        doc = parse_yaml("# header\na: 1  # trailing\n\nb: 2\n")
+        assert doc == {"a": 1, "b": 2}
+
+
+class TestStructure:
+    def test_nested_mappings(self):
+        doc = parse_yaml("outer:\n  inner:\n    leaf: 7\n  other: x\n")
+        assert doc == {"outer": {"inner": {"leaf": 7}, "other": "x"}}
+
+    def test_block_list(self):
+        doc = parse_yaml("items:\n  - 1\n  - two\n  - 3.0\n")
+        assert doc == {"items": [1, "two", 3.0]}
+
+    def test_list_of_mappings(self):
+        doc = parse_yaml(
+            "nets:\n  - devices: 10\n    gateways: 1\n  - devices: 20\n"
+        )
+        assert doc == {
+            "nets": [{"devices": 10, "gateways": 1}, {"devices": 20}]
+        }
+
+    def test_inline_collections(self):
+        doc = parse_yaml("a: [1, 2, 3]\nb: {x: 1, y: [true, null]}\n")
+        assert doc == {"a": [1, 2, 3], "b": {"x": 1, "y": [True, None]}}
+
+    def test_json_document_fallback(self):
+        assert parse_yaml('{"a": [1, 2]}') == {"a": [1, 2]}
+
+
+class TestErrors:
+    def test_tab_indent_rejected(self):
+        with pytest.raises(YamlError, match="tab"):
+            parse_yaml("a:\n\tb: 1\n")
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(YamlError, match="duplicate"):
+            parse_yaml("a: 1\na: 2\n")
+
+    def test_error_carries_filename_and_line(self):
+        with pytest.raises(YamlError, match=r"spec\.yaml:2"):
+            parse_yaml("a: 1\n???\n", filename="spec.yaml")
+
+
+class TestDump:
+    def test_round_trip(self):
+        doc = {
+            "seed": 3,
+            "nested": {"list": [1, {"k": "v"}], "flag": True, "none": None},
+            "text": "with: colon #hash",
+        }
+        assert parse_yaml(dump_yaml(doc)) == doc
