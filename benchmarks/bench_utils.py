@@ -3,9 +3,9 @@
 Each ``run_once`` executes the driver inside a count-only observability
 session (events are tallied by type but not stored), so ``report`` can
 record *how much work* a run did next to *how long* it took.  Every
-report appends a ``{date, duration_s, events, event_counts}`` record to
-``benchmarks/BENCH_<slug>.json``, accumulating a performance trajectory
-across sessions.
+report appends a ``{date, duration_s, events, event_counts,
+events_per_s}`` record to ``benchmarks/BENCH_<slug>.json``,
+accumulating a performance trajectory across sessions.
 """
 
 import json
@@ -69,12 +69,19 @@ def _append_trajectory(title, duration_s, event_counts):
                 records = json.load(fh)
         except (OSError, ValueError):
             records = []
+    events = sum(event_counts.values())
     records.append(
         {
             "date": datetime.now(timezone.utc).isoformat(),
             "duration_s": duration_s,
-            "events": sum(event_counts.values()),
+            "events": events,
             "event_counts": event_counts,
+            # Derived throughput.  Wall-clock-bearing, but regress-safe:
+            # metrics_from_bench only extracts events/event_counts, so
+            # the trajectory carries eps without ever gating on it.
+            "events_per_s": (
+                round(events / duration_s, 1) if duration_s else 0.0
+            ),
         }
     )
     with open(path, "w") as fh:

@@ -12,8 +12,8 @@ Entry points surface as ``repro.tools campaign run|status|report|diff``.
 
 from __future__ import annotations
 
-from .report import campaign_diff, campaign_report, campaign_status
-from .runner import execute_one, run_campaign
+from .report import campaign_diff, campaign_report, campaign_status, fleet_status
+from .runner import execute_one, progress_line, run_campaign
 from .store import CampaignError, CampaignStore
 
 __all__ = [
@@ -22,6 +22,8 @@ __all__ = [
     "campaign_diff",
     "campaign_report",
     "campaign_status",
+    "fleet_status",
     "execute_one",
+    "progress_line",
     "run_campaign",
 ]

@@ -15,10 +15,16 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Mapping, Optional
 
+from ..obs.manifest import wall_now_s
 from ..obs.regress import REGRESS_SCHEMA_VERSION, Tolerance, compare_metrics, metrics_from_result
-from .store import CampaignStore
+from .store import HEARTBEAT_STALE_S, CampaignStore
 
-__all__ = ["campaign_status", "campaign_report", "campaign_diff"]
+__all__ = [
+    "campaign_status",
+    "campaign_report",
+    "campaign_diff",
+    "fleet_status",
+]
 
 # Headline metrics promoted into report rows when present.
 _HEADLINE_KEYS = ("offered", "delivered", "prr")
@@ -33,24 +39,89 @@ def _headline(result: Mapping[str, Any]) -> Dict[str, Any]:
     return {k: result[k] for k in _HEADLINE_KEYS if k in result}
 
 
+def fleet_status(out_dir: str) -> Dict[str, Any]:
+    """Live fleet view: grid completion plus per-worker heartbeats.
+
+    Heartbeats are written by campaign workers after every finished run
+    (see :mod:`repro.campaign.runner`); a heartbeat older than
+    ``HEARTBEAT_STALE_S`` marks its worker stale.  The fleet ETA scales
+    the mean per-run busy time by the pending count over the active
+    worker count.  Everything here is wall-clock telemetry — it never
+    feeds results or comparisons.
+    """
+    store = CampaignStore(out_dir)
+    status = store.status()
+    now = wall_now_s()
+    workers: List[Dict[str, Any]] = []
+    runs_done = 0
+    busy_s = 0.0
+    for hb in store.heartbeats():
+        age_s = max(0.0, now - float(hb.get("updated_wall_s") or now))
+        runs_done += int(hb.get("runs_done") or 0)
+        busy_s += float(hb.get("busy_wall_s") or 0.0)
+        workers.append(
+            {
+                "worker": hb.get("worker"),
+                "pid": hb.get("pid"),
+                "runs_done": hb.get("runs_done", 0),
+                "last_run_id": hb.get("last_run_id"),
+                "last_wall_s": hb.get("last_wall_s"),
+                "last_eps": hb.get("last_eps"),
+                "age_s": age_s,
+                "stale": age_s > HEARTBEAT_STALE_S,
+            }
+        )
+    active = sum(1 for w in workers if not w["stale"])
+    mean_run_s = busy_s / runs_done if runs_done else None
+    eta_s: Optional[float] = None
+    if mean_run_s is not None and active > 0:
+        eta_s = status["pending"] * mean_run_s / active
+    return {
+        **{
+            k: status[k]
+            for k in ("name", "spec_digest", "total", "completed", "pending")
+        },
+        "workers": workers,
+        "fleet": {
+            "workers": len(workers),
+            "active": active,
+            "runs_done": runs_done,
+            "busy_wall_s": busy_s,
+            "mean_run_wall_s": mean_run_s,
+            "eta_s": eta_s,
+        },
+    }
+
+
 def campaign_report(out_dir: str) -> Dict[str, Any]:
     """Per-run rows plus aggregates for every finished run."""
     store = CampaignStore(out_dir)
     status = store.status()
     rows: List[Dict[str, Any]] = []
+    perf_events = 0
+    perf_wall_s = 0.0
+    run_eps: List[float] = []
     for record in store.results():
         result = record.get("result", {})
-        rows.append(
-            {
-                "run_id": record["run_id"],
-                "index": record.get("index"),
-                "seed": record.get("seed"),
-                "overrides": record.get("overrides", {}),
-                "kind": result.get("kind"),
-                **_headline(result),
-                "wall_time_s": (record.get("manifest") or {}).get("wall_time_s"),
-            }
-        )
+        row = {
+            "run_id": record["run_id"],
+            "index": record.get("index"),
+            "seed": record.get("seed"),
+            "overrides": record.get("overrides", {}),
+            "kind": result.get("kind"),
+            **_headline(result),
+            "wall_time_s": (record.get("manifest") or {}).get("wall_time_s"),
+        }
+        perf = record.get("perf") or {}
+        wall = perf.get("wall") or {}
+        if wall.get("events_per_s") is not None:
+            # "_wall" suffix keeps throughput out of regress comparisons
+            # (volatile-key filter), like wall_time_s above.
+            row["eps_wall"] = wall["events_per_s"]
+            run_eps.append(float(wall["events_per_s"]))
+            perf_events += int((perf.get("deterministic") or {}).get("events") or 0)
+            perf_wall_s += float(wall.get("total_s") or 0.0)
+        rows.append(row)
     aggregates: Dict[str, Dict[str, float]] = {}
     for key in _HEADLINE_KEYS:
         values = [float(row[key]) for row in rows if isinstance(row.get(key), (int, float))]
@@ -60,6 +131,17 @@ def campaign_report(out_dir: str) -> Dict[str, Any]:
                 "max": max(values),
                 "mean": sum(values) / len(values),
             }
+    throughput: Optional[Dict[str, float]] = None
+    if run_eps:
+        throughput = {
+            "runs": float(len(run_eps)),
+            "events": float(perf_events),
+            "busy_s": perf_wall_s,
+            "events_per_s": perf_events / perf_wall_s if perf_wall_s else 0.0,
+            "min_run_eps": min(run_eps),
+            "max_run_eps": max(run_eps),
+            "mean_run_eps": sum(run_eps) / len(run_eps),
+        }
     return {
         "name": status["name"],
         "spec_digest": status["spec_digest"],
@@ -68,6 +150,7 @@ def campaign_report(out_dir: str) -> Dict[str, Any]:
         "pending": status["pending"],
         "rows": rows,
         "aggregates": aggregates,
+        "throughput_wall": throughput,
     }
 
 

@@ -8,40 +8,104 @@ otherwise.  Each run's seed is embedded in its
 so results are bit-identical at any parallelism: the pool only decides
 *when* a run executes, never *what* it computes.
 
-Wall-clock readings are confined to the run manifests (``wall_time_s``,
-``started_at`` via :mod:`repro.obs.manifest`); comparisons scrub them.
+Fleet telemetry: every worker carries a per-run
+:class:`~repro.obs.perf.PerfProbe` (sampled timings, exact phase
+counts) whose report lands under the record's ``perf`` key — the
+deterministic half is identical at any parallelism, the ``wall`` half
+is scrubbed by every comparison layer — and, when the campaign store is
+reachable, writes a heartbeat file after each run so ``campaign status
+--live`` and ``watch --campaign`` can show fleet progress without
+touching the result files.
+
+Wall-clock readings are confined to the run manifests, the ``perf``
+``wall`` section, and the heartbeats (all via :mod:`repro.obs.manifest`
+helpers); comparisons scrub them.
 """
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Any, Callable, Dict, List, Optional
 
-from ..obs.manifest import Stopwatch, build_manifest
+from ..obs.manifest import Stopwatch, build_manifest, utc_now_iso, wall_now_s
+from ..obs.perf import PerfProbe, maybe_attach
 from ..scenarios.compile import execute_run
 from ..scenarios.spec import RunConfig, ScenarioSpec
 from .store import CampaignStore
 
-__all__ = ["execute_one", "run_campaign"]
+__all__ = ["execute_one", "run_campaign", "progress_line"]
 
 ProgressFn = Callable[[str], None]
 
+# Per-run phase timings are sampled 1-in-N in campaign workers: exact
+# counters, ~zero timing overhead (the profile CLI uses 1 for full
+# timing fidelity instead).
+WORKER_SAMPLE_EVERY = 32
 
-def execute_one(run: RunConfig, experiment: str = "campaign") -> Dict[str, Any]:
+# Per-worker-process tally.  Pool workers persist across tasks, so this
+# module state accumulates runs-completed and busy time per worker and
+# rides along in every heartbeat.
+_WORKER_STATE: Dict[str, Any] = {"runs_done": 0, "busy_wall_s": 0.0}
+
+
+def _emit_heartbeat(
+    store: CampaignStore,
+    campaign: str,
+    run: RunConfig,
+    wall_s: float,
+    events: int,
+) -> None:
+    _WORKER_STATE["runs_done"] += 1
+    _WORKER_STATE["busy_wall_s"] += wall_s
+    record = {
+        "schema": 1,
+        "worker": f"w{os.getpid()}",
+        "pid": os.getpid(),
+        "campaign": campaign,
+        "runs_done": _WORKER_STATE["runs_done"],
+        "busy_wall_s": _WORKER_STATE["busy_wall_s"],
+        "last_run_id": run.run_id,
+        "last_index": run.index,
+        "last_wall_s": wall_s,
+        "last_events": events,
+        "last_eps": events / wall_s if wall_s > 0 else 0.0,
+        "updated_at": utc_now_iso(),
+        "updated_wall_s": wall_now_s(),
+    }
+    try:
+        store.write_heartbeat(record)
+    except OSError:
+        pass  # telemetry only: never fail a run over a heartbeat
+
+
+def execute_one(
+    run: RunConfig,
+    experiment: str = "campaign",
+    out_dir: Optional[str] = None,
+) -> Dict[str, Any]:
     """Execute one run and wrap it into a self-contained store record.
 
     Top-level (picklable) on purpose: this is the process-pool worker.
+    When ``out_dir`` names the campaign store, a heartbeat is written
+    after the run so live status can show fleet progress.  The per-run
+    perf report (``perf`` key: deterministic phase counts + wall-only
+    throughput) is attached opportunistically — an outer probe (e.g.
+    ``repro.tools profile`` around a whole campaign) takes precedence.
     """
     watch = Stopwatch()
-    result = execute_run(run)
+    probe = PerfProbe(sample_every=WORKER_SAMPLE_EVERY)
+    with maybe_attach(probe) as attached:
+        result = execute_run(run)
+    wall_s = watch.elapsed_s()
     manifest = build_manifest(
         experiment=experiment,
         seed=run.seed,
         config=run.config,
-        wall_time_s=watch.elapsed_s(),
+        wall_time_s=wall_s,
         extra={"run_id": run.run_id, "run_index": run.index},
     )
-    return {
+    record = {
         "run_id": run.run_id,
         "index": run.index,
         "seed": run.seed,
@@ -49,6 +113,28 @@ def execute_one(run: RunConfig, experiment: str = "campaign") -> Dict[str, Any]:
         "result": result,
         "manifest": manifest,
     }
+    events = 0
+    if attached is not None:
+        record["perf"] = attached.report(total_wall_s=wall_s)
+        events = attached.events
+    if out_dir is not None:
+        _emit_heartbeat(
+            CampaignStore(out_dir), experiment, run, wall_s, events
+        )
+    return record
+
+
+def progress_line(done: int, total: int, elapsed_s: float) -> str:
+    """``3/10, 12.3 runs/min, ETA 34s`` — the live progress suffix."""
+    if done <= 0 or elapsed_s <= 0:
+        return f"{done}/{total}"
+    rate_per_s = done / elapsed_s
+    eta_s = (total - done) / rate_per_s
+    if eta_s >= 90:
+        eta = f"{eta_s / 60:.1f}min"
+    else:
+        eta = f"{eta_s:.0f}s"
+    return f"{done}/{total}, {rate_per_s * 60:.1f} runs/min, ETA {eta}"
 
 
 def run_campaign(
@@ -67,7 +153,8 @@ def run_campaign(
         jobs: Worker processes; ``1`` executes inline in this process.
         resume: Skip runs whose results already parse on disk.  With
             ``resume=False`` every run re-executes and overwrites.
-        progress: Optional callback for one-line progress messages.
+        progress: Optional callback for one-line progress messages
+            (completion counts, runs/min, ETA).
 
     Returns:
         Summary dict: totals, the runs executed/skipped, store paths.
@@ -77,6 +164,7 @@ def run_campaign(
     say = progress or (lambda _msg: None)
     store = CampaignStore(out_dir)
     store.initialize(spec)
+    store.clear_heartbeats()  # stale telemetry from a previous attempt
     runs = spec.runs()
     done = store.completed_run_ids() if resume else set()
     pending = [r for r in runs if r.run_id not in done]
@@ -86,15 +174,27 @@ def run_campaign(
         f"jobs={jobs})"
     )
 
+    watch = Stopwatch()
     executed: List[str] = []
     failures: List[Dict[str, Any]] = []
+
+    def announce(run_id: str) -> None:
+        finished = len(executed) + len(failures)
+        say(
+            f"run {run_id} done "
+            f"({progress_line(finished, len(pending), watch.elapsed_s())})"
+        )
+
     if jobs == 1 or len(pending) <= 1:
         for run in pending:
-            _finish(store, spec, run, failures, executed, say)
+            _finish(store, spec, run, out_dir, failures, executed, say)
+            if executed and executed[-1] == run.run_id:
+                announce(run.run_id)
     else:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = {
-                pool.submit(execute_one, run, spec.name): run for run in pending
+                pool.submit(execute_one, run, spec.name, out_dir): run
+                for run in pending
             }
             remaining = set(futures)
             while remaining:
@@ -109,8 +209,9 @@ def run_campaign(
                         continue
                     store.write_result(record)
                     executed.append(run.run_id)
-                    say(f"run {run.run_id} done ({len(executed)}/{len(pending)})")
+                    announce(run.run_id)
 
+    store.clear_heartbeats()  # fleet is gone; drop the live telemetry
     return {
         "name": spec.name,
         "spec_digest": spec.digest,
@@ -127,16 +228,16 @@ def _finish(
     store: CampaignStore,
     spec: ScenarioSpec,
     run: RunConfig,
+    out_dir: str,
     failures: List[Dict[str, Any]],
     executed: List[str],
     say: ProgressFn,
 ) -> None:
     try:
-        record = execute_one(run, spec.name)
+        record = execute_one(run, spec.name, out_dir)
     except Exception as exc:  # noqa: BLE001 - reported per run
         failures.append({"run_id": run.run_id, "error": str(exc)})
         say(f"run {run.run_id} FAILED: {exc}")
         return
     store.write_result(record)
     executed.append(run.run_id)
-    say(f"run {run.run_id} done")

@@ -22,11 +22,16 @@ from typing import Any, Dict, List, Optional, Set
 from ..scenarios.spec import ScenarioSpec
 from ..scenarios.yamlparse import dump_yaml
 
-__all__ = ["CampaignError", "CampaignStore"]
+__all__ = ["CampaignError", "CampaignStore", "HEARTBEAT_STALE_S"]
 
 INDEX_NAME = "campaign.json"
 SPEC_NAME = "spec.resolved.yaml"
 RUNS_DIR = "runs"
+HEARTBEAT_DIR = "heartbeats"
+
+# A worker heartbeat older than this (by its own epoch stamp) is shown
+# as stale: the worker likely exited without cleanup.
+HEARTBEAT_STALE_S = 120.0
 
 
 class CampaignError(RuntimeError):
@@ -61,6 +66,13 @@ class CampaignStore:
 
     def run_path(self, run_id: str) -> str:
         return os.path.join(self.runs_dir, f"{run_id}.json")
+
+    @property
+    def heartbeat_dir(self) -> str:
+        return os.path.join(self.root, HEARTBEAT_DIR)
+
+    def heartbeat_path(self, worker: str) -> str:
+        return os.path.join(self.heartbeat_dir, f"{worker}.json")
 
     # -- lifecycle --------------------------------------------------------
 
@@ -154,6 +166,57 @@ class CampaignStore:
             if record is not None:
                 out.append(record)
         return sorted(out, key=lambda r: r.get("index", 0))
+
+    # -- worker heartbeats -------------------------------------------------
+    #
+    # One JSON file per worker under <dir>/heartbeats/, written
+    # atomically after every completed run.  Heartbeats are pure
+    # telemetry: wall-clock-bearing, never read back into results, and
+    # cleared when a campaign finishes.
+
+    def write_heartbeat(self, record: Dict[str, Any]) -> str:
+        """Persist one worker heartbeat atomically; returns the path."""
+        worker = record["worker"]
+        os.makedirs(self.heartbeat_dir, exist_ok=True)
+        path = self.heartbeat_path(worker)
+        _atomic_write(path, json.dumps(record, indent=2, sort_keys=True))
+        return path
+
+    def heartbeats(self) -> List[Dict[str, Any]]:
+        """All parseable worker heartbeats, sorted by worker name."""
+        try:
+            names = os.listdir(self.heartbeat_dir)
+        except FileNotFoundError:
+            return []
+        out: List[Dict[str, Any]] = []
+        for name in sorted(names):
+            if not name.endswith(".json"):
+                continue
+            try:
+                with open(
+                    os.path.join(self.heartbeat_dir, name),
+                    "r",
+                    encoding="utf-8",
+                ) as fh:
+                    record = json.load(fh)
+            except (OSError, json.JSONDecodeError):
+                continue  # torn heartbeat: a fresh one lands shortly
+            if isinstance(record, dict):
+                out.append(record)
+        return sorted(out, key=lambda r: str(r.get("worker")))
+
+    def clear_heartbeats(self) -> None:
+        """Remove all heartbeat files (campaign finished or restarted)."""
+        try:
+            names = os.listdir(self.heartbeat_dir)
+        except FileNotFoundError:
+            return
+        for name in names:
+            if name.endswith(".json"):
+                try:
+                    os.remove(os.path.join(self.heartbeat_dir, name))
+                except OSError:
+                    pass
 
     def status(self) -> Dict[str, Any]:
         """Completion state derived from the run files on disk."""

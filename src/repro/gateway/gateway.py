@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..obs import runtime as _obs
 from ..obs.events import EventType
+from ..obs.perf import Phase, phase_timed
 from ..phy.channels import Channel, overlap_hz
 from ..phy.interference import Interferer, decode_ok
 from ..phy.link import Position, noise_floor_dbm
@@ -227,111 +228,115 @@ class Gateway:
         prelim: Dict[int, GatewayReception] = {}
         rec_trace = _obs.TRACE
 
-        for idx, obs in enumerate(observations):
-            tx = obs.transmission
-            det = detect(
-                obs, self._channels, noise_figure_db=self.noise_figure_db
-            )
-            if det is not None:
-                detections.append(det)
-                prelim[idx] = None  # resolved by dispatch below
+        with phase_timed(Phase.DETECT, items=len(observations)):
+            for idx, obs in enumerate(observations):
+                tx = obs.transmission
+                det = detect(
+                    obs, self._channels, noise_figure_db=self.noise_figure_db
+                )
+                if det is not None:
+                    detections.append(det)
+                    prelim[idx] = None  # resolved by dispatch below
+                    if rec_trace is not None:
+                        rec_trace.emit(
+                            EventType.GW_LOCK_ON,
+                            t=det.lock_on_s,
+                            gw=self.gateway_id,
+                            net=tx.network_id,
+                            node=tx.node_id,
+                            ctr=tx.counter,
+                            att=tx.attempt,
+                            snr_db=det.snr_db,
+                        )
+                    continue
+                if match_rx_channel(tx.channel, self._channels) is None:
+                    outcome = Outcome.CHANNEL_MISMATCH
+                else:
+                    outcome = Outcome.BELOW_SENSITIVITY
+                prelim[idx] = GatewayReception(
+                    gateway_id=self.gateway_id,
+                    transmission=tx,
+                    outcome=outcome,
+                )
+
+        results_by_tx: Dict[tuple, GatewayReception] = {}
+        dispatcher = FcfsDispatcher(self.pool)
+        dispatched = dispatcher.dispatch(detections)
+        with phase_timed(Phase.DECODE, items=len(dispatched)):
+            for res in dispatched:
+                det = res.detection
+                tx = det.tx
+                if not res.admitted:
+                    record = GatewayReception(
+                        gateway_id=self.gateway_id,
+                        transmission=tx,
+                        outcome=Outcome.NO_DECODER,
+                        rx_channel=det.rx_channel,
+                        snr_db=det.snr_db,
+                        lock_on_s=det.lock_on_s,
+                        blocker_network_ids=tuple(
+                            lease.holder_network_id for lease in res.blockers
+                        ),
+                    )
+                else:
+                    noise = noise_floor_dbm(
+                        tx.channel.bandwidth_hz, self.noise_figure_db
+                    )
+                    if self.collision_resilient:
+                        # CIC-style PHY: interference is resolved, only
+                        # the noise threshold matters (already checked
+                        # at detection time).
+                        ok = True
+                    else:
+                        ok = decode_ok(
+                            det.observation.rssi_dbm,
+                            noise,
+                            tx.sf,
+                            det.rx_channel,
+                            self._interferers_for(det, index),
+                        )
+                    if not ok:
+                        outcome = Outcome.DECODE_FAILED
+                    elif tx.network_id != self.network_id:
+                        outcome = Outcome.FILTERED_FOREIGN
+                    else:
+                        outcome = Outcome.RECEIVED
+                    record = GatewayReception(
+                        gateway_id=self.gateway_id,
+                        transmission=tx,
+                        outcome=outcome,
+                        rx_channel=det.rx_channel,
+                        snr_db=det.snr_db,
+                        lock_on_s=det.lock_on_s,
+                    )
+                results_by_tx[self._tx_key(tx)] = record
+
+        out: List[GatewayReception] = []
+        metrics = _obs.METRICS
+        with phase_timed(Phase.EMIT, items=len(observations)):
+            for idx, obs in enumerate(observations):
+                rec = prelim[idx]
+                if rec is None:
+                    rec = results_by_tx[self._tx_key(obs.transmission)]
+                out.append(rec)
+                tx = rec.transmission
                 if rec_trace is not None:
                     rec_trace.emit(
-                        EventType.GW_LOCK_ON,
-                        t=det.lock_on_s,
+                        EventType.GW_RECEPTION,
+                        t=tx.start_s,
                         gw=self.gateway_id,
                         net=tx.network_id,
                         node=tx.node_id,
                         ctr=tx.counter,
                         att=tx.attempt,
-                        snr_db=det.snr_db,
+                        outcome=rec.outcome.value,
                     )
-                continue
-            if match_rx_channel(tx.channel, self._channels) is None:
-                outcome = Outcome.CHANNEL_MISMATCH
-            else:
-                outcome = Outcome.BELOW_SENSITIVITY
-            prelim[idx] = GatewayReception(
-                gateway_id=self.gateway_id,
-                transmission=tx,
-                outcome=outcome,
-            )
-
-        results_by_tx: Dict[tuple, GatewayReception] = {}
-        dispatcher = FcfsDispatcher(self.pool)
-        for res in dispatcher.dispatch(detections):
-            det = res.detection
-            tx = det.tx
-            if not res.admitted:
-                record = GatewayReception(
-                    gateway_id=self.gateway_id,
-                    transmission=tx,
-                    outcome=Outcome.NO_DECODER,
-                    rx_channel=det.rx_channel,
-                    snr_db=det.snr_db,
-                    lock_on_s=det.lock_on_s,
-                    blocker_network_ids=tuple(
-                        lease.holder_network_id for lease in res.blockers
-                    ),
-                )
-            else:
-                noise = noise_floor_dbm(
-                    tx.channel.bandwidth_hz, self.noise_figure_db
-                )
-                if self.collision_resilient:
-                    # CIC-style PHY: interference is resolved, only the
-                    # noise threshold matters (already checked at
-                    # detection time).
-                    ok = True
-                else:
-                    ok = decode_ok(
-                        det.observation.rssi_dbm,
-                        noise,
-                        tx.sf,
-                        det.rx_channel,
-                        self._interferers_for(det, index),
-                    )
-                if not ok:
-                    outcome = Outcome.DECODE_FAILED
-                elif tx.network_id != self.network_id:
-                    outcome = Outcome.FILTERED_FOREIGN
-                else:
-                    outcome = Outcome.RECEIVED
-                record = GatewayReception(
-                    gateway_id=self.gateway_id,
-                    transmission=tx,
-                    outcome=outcome,
-                    rx_channel=det.rx_channel,
-                    snr_db=det.snr_db,
-                    lock_on_s=det.lock_on_s,
-                )
-            results_by_tx[self._tx_key(tx)] = record
-
-        out: List[GatewayReception] = []
-        metrics = _obs.METRICS
-        for idx, obs in enumerate(observations):
-            rec = prelim[idx]
-            if rec is None:
-                rec = results_by_tx[self._tx_key(obs.transmission)]
-            out.append(rec)
-            tx = rec.transmission
-            if rec_trace is not None:
-                rec_trace.emit(
-                    EventType.GW_RECEPTION,
-                    t=tx.start_s,
-                    gw=self.gateway_id,
-                    net=tx.network_id,
-                    node=tx.node_id,
-                    ctr=tx.counter,
-                    att=tx.attempt,
-                    outcome=rec.outcome.value,
-                )
-            if metrics is not None:
-                metrics.counter(
-                    "repro_outcomes_total",
-                    "per-gateway reception outcomes",
-                    outcome=rec.outcome.value,
-                ).inc()
+                if metrics is not None:
+                    metrics.counter(
+                        "repro_outcomes_total",
+                        "per-gateway reception outcomes",
+                        outcome=rec.outcome.value,
+                    ).inc()
         return out
 
     @staticmethod

@@ -201,6 +201,7 @@ _WALL_CLOCK_CALLS = {
 _TELEMETRY_MODULES = {
     "src/repro/obs/profiling.py",
     "src/repro/obs/manifest.py",
+    "src/repro/obs/perf.py",
 }
 
 # (module path, enclosing def) pairs allowed to read the wall clock.

@@ -42,6 +42,19 @@ from .health import Alert, AlertRule, HealthMonitor, health_score, health_status
 from .logconf import setup_logging
 from .manifest import build_manifest, config_digest, git_revision, scrub_wall_fields
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .perf import (
+    PHASES,
+    PerfProbe,
+    Phase,
+    PhaseStat,
+    perf_count,
+    phase_timed,
+    profile_hotspots,
+    render_hotspots,
+    render_phase_table,
+    render_throughput,
+    run_profiled,
+)
 from .profiling import SpanAggregator, SpanStat, render_flame, span
 from .recorder import TraceRecorder, load_trace
 from .timeline import (
@@ -67,6 +80,17 @@ __all__ = [
     "SpanStat",
     "span",
     "render_flame",
+    "PerfProbe",
+    "PhaseStat",
+    "Phase",
+    "PHASES",
+    "phase_timed",
+    "perf_count",
+    "profile_hotspots",
+    "run_profiled",
+    "render_phase_table",
+    "render_hotspots",
+    "render_throughput",
     "HealthMonitor",
     "AlertRule",
     "Alert",

@@ -166,6 +166,11 @@ class HealthHTTPExporter:
         monitor = self._active_monitor()
         if monitor is not None:
             parts.append(monitor.to_prometheus())
+        probe = _obs.PERF
+        if probe is not None:
+            # Live throughput gauges while a performance probe is
+            # attached (events/s, per-phase work counters).
+            parts.append(probe.to_prometheus())
         return (
             "".join(parts).encode(),
             200,

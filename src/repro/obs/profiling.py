@@ -29,15 +29,21 @@ __all__ = ["span", "SpanAggregator", "SpanStat", "render_flame"]
 
 
 class SpanStat:
-    """Aggregate timing of one span path."""
+    """Aggregate timing of one span path.
 
-    __slots__ = ("count", "total_s", "min_s", "max_s")
+    ``child_s`` accumulates the time spent inside directly nested spans,
+    so ``self_s`` (total minus children — the span's *own* cost) can be
+    reported without keeping per-entry records.
+    """
+
+    __slots__ = ("count", "total_s", "min_s", "max_s", "child_s")
 
     def __init__(self) -> None:
         self.count = 0
         self.total_s = 0.0
         self.min_s = float("inf")
         self.max_s = 0.0
+        self.child_s = 0.0
 
     def add(self, elapsed_s: float) -> None:
         self.count += 1
@@ -47,11 +53,21 @@ class SpanStat:
         if elapsed_s > self.max_s:
             self.max_s = elapsed_s
 
+    def add_child(self, elapsed_s: float) -> None:
+        """Credit ``elapsed_s`` of a directly nested span to this path."""
+        self.child_s += elapsed_s
+
+    @property
+    def self_s(self) -> float:
+        """Time spent in this span excluding directly nested spans."""
+        return max(self.total_s - self.child_s, 0.0)
+
     def to_dict(self) -> Dict[str, float]:
         """JSON-friendly snapshot."""
         return {
             "count": self.count,
             "total_s": self.total_s,
+            "self_s": self.self_s,
             "min_s": self.min_s if self.count else 0.0,
             "max_s": self.max_s,
             "mean_s": self.total_s / self.count if self.count else 0.0,
@@ -86,12 +102,21 @@ class SpanAggregator:
         stack = self._stack()
         path = "/".join(stack)
         stack.pop()
+        parent_path = "/".join(stack) if stack else None
         with self._lock:
             stat = self._stats.get(path)
             if stat is None:
                 stat = SpanStat()
                 self._stats[path] = stat
             stat.add(elapsed_s)
+            if parent_path is not None:
+                # The parent's stat may not exist yet (it pops after its
+                # children); create the placeholder to credit child time.
+                parent = self._stats.get(parent_path)
+                if parent is None:
+                    parent = SpanStat()
+                    self._stats[parent_path] = parent
+                parent.add_child(elapsed_s)
 
     def flame_summary(self) -> Dict[str, Dict[str, float]]:
         """Per-path aggregates, sorted by path (parents before children)."""
@@ -125,13 +150,51 @@ class span:
         return False
 
 
+def _self_time_s(summary: Dict[str, Dict[str, float]], path: str) -> float:
+    """The path's self time: recorded, or derived from direct children."""
+    stat = summary[path]
+    if "self_s" in stat:
+        return stat["self_s"]
+    depth = path.count("/") + 1
+    child_s = sum(
+        s["total_s"]
+        for p, s in summary.items()
+        if p.startswith(path + "/") and p.count("/") == depth
+    )
+    return max(stat["total_s"] - child_s, 0.0)
+
+
+def _flame_order(summary: Dict[str, Dict[str, float]]) -> List[str]:
+    """Hierarchical path order with siblings sorted by self time."""
+    children: Dict[str, List[str]] = {}
+    for path in summary:
+        parent = path.rsplit("/", 1)[0] if "/" in path else ""
+        if parent not in summary:
+            parent = ""  # orphan subtree: promote to root level
+        children.setdefault(parent, []).append(path)
+    ordered: List[str] = []
+
+    def walk(parent: str) -> None:
+        for path in sorted(
+            children.get(parent, []),
+            key=lambda p: (-_self_time_s(summary, p), p),
+        ):
+            ordered.append(path)
+            walk(path)
+
+    walk("")
+    return ordered
+
+
 def render_flame(
     summary: Dict[str, Dict[str, float]], width: int = 40
 ) -> str:
     """ASCII flame summary: one indented row per span path.
 
     Bars scale against the largest root total; child rows indent under
-    their parents (paths sort that way naturally).
+    their parents, siblings sorted by self time (time excluding nested
+    spans) so the hottest own-cost paths surface first.  Summaries
+    without a ``self_s`` column derive it from the direct children.
     """
     if not summary:
         return "(no spans recorded)"
@@ -139,13 +202,15 @@ def render_flame(
     top = max((summary[p]["total_s"] for p in roots), default=0.0)
     top = max(top, 1e-12)
     lines = []
-    for path in summary:
+    for path in _flame_order(summary):
         stat = summary[path]
         depth = path.count("/")
         name = path.rsplit("/", 1)[-1]
+        self_s = _self_time_s(summary, path)
         bar = "#" * max(1, int(round(stat["total_s"] / top * width)))
         lines.append(
             f"{'  ' * depth}{name:<{max(28 - 2 * depth, 8)}} "
-            f"{stat['total_s'] * 1e3:9.2f} ms  x{stat['count']:<5d} {bar}"
+            f"{stat['total_s'] * 1e3:9.2f} ms {self_s * 1e3:9.2f} self "
+            f"x{stat['count']:<5d} {bar}"
         )
     return "\n".join(lines)

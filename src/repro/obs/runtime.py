@@ -7,6 +7,7 @@ against four module-level slots that default to ``None``:
 * :data:`METRICS` — the active :class:`~repro.obs.metrics.MetricsRegistry`
 * :data:`SPANS` — the active :class:`~repro.obs.profiling.SpanAggregator`
 * :data:`HEALTH` — the active :class:`~repro.obs.health.HealthMonitor`
+* :data:`PERF` — the active :class:`~repro.obs.perf.PerfProbe`
 
 A hook is a single attribute load plus a ``None`` check when
 observability is disabled — the overhead budget for the default
@@ -22,16 +23,28 @@ from typing import TYPE_CHECKING, Optional
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .health import HealthMonitor
     from .metrics import MetricsRegistry
+    from .perf import PerfProbe
     from .profiling import SpanAggregator
     from .recorder import TraceRecorder
 
-__all__ = ["TRACE", "METRICS", "SPANS", "HEALTH", "activate", "deactivate"]
+__all__ = [
+    "TRACE",
+    "METRICS",
+    "SPANS",
+    "HEALTH",
+    "PERF",
+    "activate",
+    "deactivate",
+]
 
 # The active observability session components (None = disabled).
 TRACE: Optional["TraceRecorder"] = None
 METRICS: Optional["MetricsRegistry"] = None
 SPANS: Optional["SpanAggregator"] = None
 HEALTH: Optional["HealthMonitor"] = None
+# The performance probe has its own lifecycle (PerfProbe.attach): a
+# perf measurement may wrap an observe() session or run without one.
+PERF: Optional["PerfProbe"] = None
 
 
 def activate(

@@ -25,6 +25,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, Sequence, Tuple
 
+from ..obs import runtime as _obs
 from .channels import Channel, overlap_ratio
 from .lora import SNR_THRESHOLD_DB, SpreadingFactor
 
@@ -195,6 +196,11 @@ def decode_ok(
          true channel collision — the desired packet captures, i.e. its
          SIR exceeds the co-SF capture margin.
     """
+    probe = _obs.PERF
+    if probe is not None:
+        # Count-only (never timed): this call sits inside the gw.decode
+        # phase; items tally the signals folded into the decision.
+        probe.count("phy.decode", 1 + len(interferers))
     sf = SpreadingFactor(desired_sf)
     if sinr_db(rssi_dbm, noise_dbm, sf, desired_channel, interferers) < (
         SNR_THRESHOLD_DB[sf]

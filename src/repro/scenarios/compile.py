@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..faults import FaultPlan
+from ..obs.perf import Phase, phase_timed
 from ..node.traffic import (
     bursty_schedule,
     diurnal_schedule,
@@ -322,8 +323,12 @@ def _execute_capacity(
 ) -> Dict[str, Any]:
     from ..experiments.common import measure_capacity, stagger_duplicate_powers
 
-    built = _build(config, run_seed)
-    _assign(config, built)
+    with phase_timed(Phase.BUILD) as pt:
+        built = _build(config, run_seed)
+        pt.items = sum(len(n.devices) for n in built.networks)
+    with phase_timed(Phase.ASSIGN) as pt:
+        _assign(config, built)
+        pt.items = sum(len(n.devices) for n in built.networks)
     traffic = config["traffic"]
     if traffic["kind"] != "capacity_burst":
         raise SpecError(
@@ -342,17 +347,18 @@ def _execute_capacity(
         payload_bytes=int(traffic["payload_bytes"]),
         shuffle_seed=run_seed if traffic["shuffle"] else None,
     )
-    out: Dict[str, Any] = {
-        "kind": "capacity",
-        "offered": len(devices),
-        "delivered": result.delivered_count(),
-        "prr": result.prr(),
-        "networks": _network_rows(built.networks, result),
-    }
-    if config["metrics"]["breakdown"]:
-        out["breakdown"] = breakdown_ratios(result)
-    if config["metrics"]["outcomes"]:
-        out["outcome_counts"] = outcome_counts(result)
+    with phase_timed(Phase.AGGREGATE, items=len(devices)):
+        out: Dict[str, Any] = {
+            "kind": "capacity",
+            "offered": len(devices),
+            "delivered": result.delivered_count(),
+            "prr": result.prr(),
+            "networks": _network_rows(built.networks, result),
+        }
+        if config["metrics"]["breakdown"]:
+            out["breakdown"] = breakdown_ratios(result)
+        if config["metrics"]["outcomes"]:
+            out["outcome_counts"] = outcome_counts(result)
     return out
 
 
@@ -419,9 +425,15 @@ def _make_load_traffic(
 
 
 def _execute_load(config: Mapping[str, Any], run_seed: int) -> Dict[str, Any]:
-    built = _build(config, run_seed)
-    _assign(config, built)
-    txs = _make_load_traffic(config, built, run_seed)
+    with phase_timed(Phase.BUILD) as pt:
+        built = _build(config, run_seed)
+        pt.items = sum(len(n.devices) for n in built.networks)
+    with phase_timed(Phase.ASSIGN) as pt:
+        _assign(config, built)
+        pt.items = sum(len(n.devices) for n in built.networks)
+    with phase_timed(Phase.TRAFFIC) as pt:
+        txs = _make_load_traffic(config, built, run_seed)
+        pt.items = len(txs)
     gateways = [gw for net in built.networks for gw in net.gateways]
     devices = [dev for net in built.networks for dev in net.devices]
     plan = _fault_plan(config, run_seed)
@@ -430,19 +442,20 @@ def _execute_load(config: Mapping[str, Any], run_seed: int) -> Dict[str, Any]:
         result = sim.run_online(txs, fault_plan=plan)
     else:
         result = Simulator(gateways, devices, link=built.link).run(txs)
-    out: Dict[str, Any] = {
-        "kind": "load",
-        "offered": len(txs),
-        "delivered": result.delivered_count(),
-        "prr": result.prr(),
-        "networks": _network_rows(built.networks, result),
-    }
-    if config["metrics"]["breakdown"]:
-        out["breakdown"] = breakdown_ratios(result)
-        for row, net in zip(out["networks"], built.networks):
-            row["breakdown"] = breakdown_ratios(result, net.network_id)
-    if config["metrics"]["outcomes"]:
-        out["outcome_counts"] = outcome_counts(result)
+    with phase_timed(Phase.AGGREGATE, items=len(txs)):
+        out: Dict[str, Any] = {
+            "kind": "load",
+            "offered": len(txs),
+            "delivered": result.delivered_count(),
+            "prr": result.prr(),
+            "networks": _network_rows(built.networks, result),
+        }
+        if config["metrics"]["breakdown"]:
+            out["breakdown"] = breakdown_ratios(result)
+            for row, net in zip(out["networks"], built.networks):
+                row["breakdown"] = breakdown_ratios(result, net.network_id)
+        if config["metrics"]["outcomes"]:
+            out["outcome_counts"] = outcome_counts(result)
     return out
 
 

@@ -28,6 +28,7 @@ from ..gateway.detector import detect
 from ..gateway.gateway import Gateway, GatewayReception, Outcome
 from ..obs import runtime as _obs
 from ..obs.events import EventType
+from ..obs.perf import Phase, PhaseStat, phase_timed
 from ..obs.profiling import span
 from ..phy.channels import Channel
 from ..phy.interference import decode_ok
@@ -110,6 +111,13 @@ class OnlineSimulator(Simulator):
             len(self.gateways),
             len(reconfigurations),
         )
+        probe = _obs.PERF
+        if probe is not None:
+            probe.note_run(
+                len(result.transmissions),
+                min((t.start_s for t in result.transmissions), default=0.0),
+                max((t.end_s for t in result.transmissions), default=0.0),
+            )
         with span("sim.run_online"):
             for tx in transmissions:
                 result.receptions.setdefault(tx_key(tx), [])
@@ -118,14 +126,17 @@ class OnlineSimulator(Simulator):
                 reconfig_by_gw.setdefault(rc.gateway_id, []).append(rc)
             for gw in self.gateways:
                 with span("gateway"):
-                    obs = self.observations_at(gw, transmissions)
+                    with phase_timed(Phase.OBSERVE, items=len(transmissions)):
+                        obs = self.observations_at(gw, transmissions)
                     events = self._gateway_events(
                         gw, reconfig_by_gw.get(gw.gateway_id, []), fault_plan
                     )
-                    for record in self._run_gateway(gw, obs, events, fault_plan):
-                        result.receptions[tx_key(record.transmission)].append(
-                            record
-                        )
+                    records = self._run_gateway(gw, obs, events, fault_plan)
+                    with phase_timed(Phase.COLLECT, items=len(records)):
+                        for record in records:
+                            result.receptions[
+                                tx_key(record.transmission)
+                            ].append(record)
         if rec is not None:
             rec.emit(EventType.SIM_RUN_END, run=run_index)
         health = _obs.HEALTH
@@ -185,6 +196,19 @@ class OnlineSimulator(Simulator):
         gw.pool.resize(gw.model.decoders)
         rec_trace = _obs.TRACE
         health = _obs.HEALTH
+        # Per-packet phase stats are hoisted out of the loop: with the
+        # probe off each hook is one ``is not None`` check, keeping the
+        # default configuration inside the <5 % overhead budget.
+        probe = _obs.PERF
+        st_timeline: Optional[PhaseStat] = None
+        st_detect: Optional[PhaseStat] = None
+        st_dispatch: Optional[PhaseStat] = None
+        st_decode: Optional[PhaseStat] = None
+        if probe is not None:
+            st_timeline = probe.stat(Phase.TIMELINE)
+            st_detect = probe.stat(Phase.DETECT)
+            st_dispatch = probe.stat(Phase.DISPATCH)
+            st_decode = probe.stat(Phase.DECODE)
         index = gw._build_time_index(observations)
         noise_figure = gw.noise_figure_db
         backhaul_rng = (
@@ -219,6 +243,8 @@ class OnlineSimulator(Simulator):
             while pending_idx < len(events) and events[pending_idx].time_s <= now:
                 ev = events[pending_idx]
                 pending_idx += 1
+                if st_timeline is not None:
+                    st_timeline.end(None)  # count-only: events are rare
                 if ev.channels is not None:
                     channels = list(ev.channels)
                     gw.configure(channels)
@@ -265,7 +291,10 @@ class OnlineSimulator(Simulator):
                 )
                 continue
 
+            t0 = st_detect.begin() if st_detect is not None else None
             det = detect(obs, channels, noise_figure_db=noise_figure)
+            if st_detect is not None:
+                st_detect.end(t0)
             if det is not None and rec_trace is not None:
                 rec_trace.emit(
                     EventType.GW_LOCK_ON,
@@ -294,9 +323,12 @@ class OnlineSimulator(Simulator):
                 )
                 continue
 
+            t0 = st_dispatch.begin() if st_dispatch is not None else None
             lease = gw.pool.try_allocate(
                 det.lock_on_s, tx.end_s, tx.network_id, tx.node_id
             )
+            if st_dispatch is not None:
+                st_dispatch.end(t0)
             if lease is None:
                 blockers = tuple(
                     l.holder_network_id
@@ -338,6 +370,7 @@ class OnlineSimulator(Simulator):
                     att=tx.attempt,
                 )
 
+            t0 = st_decode.begin() if st_decode is not None else None
             noise = noise_floor_dbm(tx.channel.bandwidth_hz, noise_figure)
             if gw.collision_resilient:
                 ok = True
@@ -349,6 +382,8 @@ class OnlineSimulator(Simulator):
                     det.rx_channel,
                     gw._interferers_for(det, index),
                 )
+            if st_decode is not None:
+                st_decode.end(t0)
             if not ok:
                 outcome = Outcome.DECODE_FAILED
             elif tx.network_id != gw.network_id:
@@ -407,23 +442,24 @@ class OnlineSimulator(Simulator):
         # carry the authoritative fate (it reproduces outcome_counts).
         metrics = _obs.METRICS
         if rec_trace is not None or metrics is not None:
-            for record in out:
-                tx = record.transmission
-                if rec_trace is not None:
-                    rec_trace.emit(
-                        EventType.GW_RECEPTION,
-                        t=tx.start_s,
-                        gw=gw.gateway_id,
-                        net=tx.network_id,
-                        node=tx.node_id,
-                        ctr=tx.counter,
-                        att=tx.attempt,
-                        outcome=record.outcome.value,
-                    )
-                if metrics is not None:
-                    metrics.counter(
-                        "repro_outcomes_total",
-                        "per-gateway reception outcomes",
-                        outcome=record.outcome.value,
-                    ).inc()
+            with phase_timed(Phase.EMIT, items=len(out)):
+                for record in out:
+                    tx = record.transmission
+                    if rec_trace is not None:
+                        rec_trace.emit(
+                            EventType.GW_RECEPTION,
+                            t=tx.start_s,
+                            gw=gw.gateway_id,
+                            net=tx.network_id,
+                            node=tx.node_id,
+                            ctr=tx.counter,
+                            att=tx.attempt,
+                            outcome=record.outcome.value,
+                        )
+                    if metrics is not None:
+                        metrics.counter(
+                            "repro_outcomes_total",
+                            "per-gateway reception outcomes",
+                            outcome=record.outcome.value,
+                        ).inc()
         return out

@@ -13,9 +13,13 @@ Usage::
     python -m repro.tools regress a.jsonl b.jsonl --rel-tol 0.1
     python -m repro.tools campaign run scenarios/fig02.yaml --jobs 4
     python -m repro.tools campaign status campaigns/fig02
+    python -m repro.tools campaign status campaigns/fig02 --live
     python -m repro.tools campaign report campaigns/fig02 --json report.json
     python -m repro.tools campaign diff campaigns/fig02 other/fig02
+    python -m repro.tools profile scenarios/fig04.yaml
+    python -m repro.tools profile scenarios/fig04.yaml --json perf.json
     python -m repro.tools watch --trace chaos.jsonl --once
+    python -m repro.tools watch --campaign campaigns/fig02
     python -m repro.tools drill --seed 7 --max-recovery-s 2.0
     python -m repro.tools lint src tests --format json
     python -m repro.tools lint --baseline lint-baseline.json
@@ -28,8 +32,13 @@ snapshot.  ``render`` draws the headline series as an ASCII chart.
 two).  ``regress`` compares two run artifacts against tolerances and
 exits non-zero on drift.  ``campaign`` compiles a declarative scenario
 spec (:mod:`repro.scenarios`) into its seeded sweep grid and runs it in
-parallel with crash-tolerant resume (:mod:`repro.campaign`).  ``watch`` renders a live health dashboard
-from an exporter URL or a growing trace file.  ``drill`` runs the
+parallel with crash-tolerant resume (:mod:`repro.campaign`); ``campaign
+status --live`` adds per-worker heartbeats and a fleet ETA.
+``profile`` executes one run of a scenario spec under the performance
+observatory (:mod:`repro.obs.perf`) and renders throughput, the phase
+table, a span flame and cProfile hotspots — ``--json`` for the raw
+report.  ``watch`` renders a live health dashboard from an exporter
+URL, a growing trace file, or a campaign directory's fleet telemetry.  ``drill`` runs the
 Master failover drill (:func:`repro.faults.drill.run_drill`): crash
 the Master mid-campaign, recover from snapshot + journal, exit
 non-zero if any crash-safety invariant fails.  ``lint`` runs the
@@ -288,6 +297,7 @@ def _campaign_command(args) -> int:
         campaign_diff,
         campaign_report,
         campaign_status,
+        fleet_status,
         run_campaign,
     )
     from ..scenarios import SpecError, YamlError, load_spec
@@ -315,6 +325,15 @@ def _campaign_command(args) -> int:
             emit(summary, args.json_path)
             return 1 if summary["failed"] else 0
         if args.campaign_command == "status":
+            if args.live:
+                from .watch import render_fleet
+
+                status = fleet_status(args.dir)
+                if args.json_path:
+                    emit(status, args.json_path)
+                else:
+                    print(render_fleet(status))
+                return 0
             status = campaign_status(args.dir)
             emit(status, args.json_path)
             return 0
@@ -338,6 +357,85 @@ def _campaign_command(args) -> int:
         print(f"campaign: {exc}", file=sys.stderr)
         return 2
     return 2
+
+
+def _profile_command(args) -> int:
+    from ..obs import observe
+    from ..obs.perf import (
+        render_hotspots,
+        render_phase_table,
+        render_throughput,
+        run_profiled,
+    )
+    from ..obs.profiling import render_flame
+    from ..scenarios import SpecError, YamlError, execute_run, load_spec
+
+    try:
+        spec = load_spec(args.spec)
+    except (OSError, SpecError, YamlError) as exc:
+        print(f"profile: {exc}", file=sys.stderr)
+        return 2
+    runs = spec.runs()
+    if not 0 <= args.run_index < len(runs):
+        print(
+            f"profile: --run-index {args.run_index} out of range "
+            f"(spec has {len(runs)} runs)",
+            file=sys.stderr,
+        )
+        return 2
+    run = runs[args.run_index]
+    if not args.no_warmup:
+        # Warm-up run outside the probe: without it, first-import and
+        # cache-fill costs dominate the wall time and the phase table
+        # attributes almost nothing (cold attribution can drop below
+        # 15% on small scenarios; warmed, it sits above 90%).
+        execute_run(run)
+    with observe(
+        trace=False, metrics=False, spans=not args.no_flame, health=False
+    ) as session:
+        result, report = run_profiled(
+            lambda: execute_run(run),
+            sample_every=args.sample_every,
+            cprofile=not args.no_cprofile,
+            memory=args.memory,
+            top_n=args.top,
+            flame=(
+                session.spans.flame_summary if session.spans is not None else None
+            ),
+        )
+    payload = {
+        "spec": spec.name,
+        "spec_path": args.spec,
+        "run_id": run.run_id,
+        "run_index": run.index,
+        "seed": run.seed,
+        "result_kind": result.get("kind") if isinstance(result, dict) else None,
+        "report": report,
+    }
+    if args.json_path:
+        text = json.dumps(payload, indent=2, default=str)
+        if args.json_path == "-":
+            print(text)
+        else:
+            with open(args.json_path, "w") as fh:
+                fh.write(text + "\n")
+            print(f"wrote {args.json_path}", file=sys.stderr)
+        return 0
+    header = f"profile: {spec.name} run {run.run_id} (seed {run.seed})"
+    print(header)
+    print("=" * len(header))
+    print(render_throughput(report))
+    print()
+    print(render_phase_table(report))
+    flame = report["wall"].get("flame")
+    if flame:
+        print()
+        print("spans (self-time ordered):")
+        print(render_flame(flame))
+    if not args.no_cprofile:
+        print()
+        print(render_hotspots(report))
+    return 0
 
 
 def _drill_bench_record(manifest, report, session) -> Dict:
@@ -564,6 +662,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="tail a (growing) trace JSONL file instead of an endpoint",
     )
+    watch_src.add_argument(
+        "--campaign",
+        dest="campaign_dir",
+        default=None,
+        help="show a running campaign's fleet telemetry (heartbeats)",
+    )
     watch_p.add_argument(
         "--interval",
         dest="interval_s",
@@ -619,6 +723,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "status", help="grid completion of a campaign directory"
     )
     cstat_p.add_argument("dir")
+    cstat_p.add_argument(
+        "--live",
+        action="store_true",
+        help="fleet view: per-worker heartbeats, throughput and ETA",
+    )
     cstat_p.add_argument("--json", dest="json_path", default=None)
     crep_p = campaign_sub.add_parser(
         "report", help="per-run rows + aggregates over finished runs"
@@ -701,6 +810,58 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="write the drill report to this file instead of stdout",
     )
 
+    profile_p = sub.add_parser(
+        "profile",
+        help="run one scenario run under the performance observatory",
+    )
+    profile_p.add_argument("spec", help="scenario spec file (.yaml or .json)")
+    profile_p.add_argument(
+        "--run-index",
+        dest="run_index",
+        type=int,
+        default=0,
+        help="which grid run to profile (default 0)",
+    )
+    profile_p.add_argument(
+        "--sample-every",
+        dest="sample_every",
+        type=int,
+        default=1,
+        help="time 1-in-N phase calls (default 1 = every call)",
+    )
+    profile_p.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        help="hotspot rows to keep (default 15)",
+    )
+    profile_p.add_argument(
+        "--no-cprofile",
+        action="store_true",
+        help="skip the cProfile hotspot pass (lower overhead)",
+    )
+    profile_p.add_argument(
+        "--no-flame",
+        action="store_true",
+        help="skip span aggregation (no flame view)",
+    )
+    profile_p.add_argument(
+        "--no-warmup",
+        action="store_true",
+        help="profile the cold first run (imports and caches included)",
+    )
+    profile_p.add_argument(
+        "--memory",
+        action="store_true",
+        help="track the tracemalloc memory high-water mark",
+    )
+    profile_p.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        help="write the raw report as JSON ('-' for stdout)",
+    )
+
     lint_p = sub.add_parser(
         "lint", help="run the determinism & invariant linter"
     )
@@ -745,9 +906,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return run_watch(
             url=args.url,
             trace_path=args.trace_path,
+            campaign_dir=args.campaign_dir,
             interval_s=args.interval_s,
             frames=1 if args.once else args.frames,
         )
+
+    if args.command == "profile":
+        return _profile_command(args)
 
     if args.command == "campaign":
         return _campaign_command(args)

@@ -22,8 +22,14 @@ def _spec(text=SPEC):
 
 
 def _scrubbed(out_dir):
+    # Wall-clock content lives in the manifest and in the perf report's
+    # "wall" section; everything else must be parallelism-invariant.
     return [
-        {**rec, "manifest": scrub_wall_fields(rec["manifest"])}
+        {
+            **rec,
+            "manifest": scrub_wall_fields(rec["manifest"]),
+            "perf": {**rec["perf"], "wall": None} if "perf" in rec else None,
+        }
         for rec in CampaignStore(out_dir).results()
     ]
 

@@ -1,0 +1,174 @@
+"""Fleet telemetry: heartbeats, live status, per-run perf, progress.
+
+Heartbeats are wall-clock telemetry written beside (never inside) the
+result store; campaigns clear them on start and finish, so the live
+views here plant heartbeat files through the store directly, the way a
+still-running worker would.
+"""
+
+from repro.campaign import (
+    CampaignStore,
+    campaign_report,
+    fleet_status,
+    progress_line,
+    run_campaign,
+)
+from repro.campaign.store import HEARTBEAT_STALE_S
+from repro.obs.manifest import utc_now_iso, wall_now_s
+from repro.scenarios import parse_spec
+
+SPEC = (
+    "meta: {name: tel}\n"
+    "run: {seed_stride: 1}\n"
+    "networks: {devices: 4}\n"
+    "sweep:\n"
+    "  networks.devices: [4, 8]\n"
+)
+
+
+def _campaign(tmp_path, jobs=1):
+    out = str(tmp_path / "c")
+    run_campaign(parse_spec(SPEC, "tel.yaml"), out, jobs=jobs)
+    return out
+
+
+def _heartbeat(worker, runs_done=1, age_s=0.0, **extra):
+    now = wall_now_s()
+    record = {
+        "schema": 1,
+        "worker": worker,
+        "pid": 4242,
+        "campaign": "tel",
+        "runs_done": runs_done,
+        "busy_wall_s": 2.0 * runs_done,
+        "last_run_id": "0000-abc",
+        "last_index": 0,
+        "last_wall_s": 2.0,
+        "last_events": 500,
+        "last_eps": 250.0,
+        "updated_at": utc_now_iso(),
+        "updated_wall_s": now - age_s,
+    }
+    record.update(extra)
+    return record
+
+
+class TestHeartbeatStore:
+    def test_write_read_clear(self, tmp_path):
+        out = _campaign(tmp_path)
+        store = CampaignStore(out)
+        assert store.heartbeats() == []  # cleared at campaign end
+        store.write_heartbeat(_heartbeat("w1"))
+        store.write_heartbeat(_heartbeat("w2"))
+        assert [hb["worker"] for hb in store.heartbeats()] == ["w1", "w2"]
+        store.clear_heartbeats()
+        assert store.heartbeats() == []
+
+    def test_torn_heartbeat_skipped(self, tmp_path):
+        out = _campaign(tmp_path)
+        store = CampaignStore(out)
+        store.write_heartbeat(_heartbeat("w1"))
+        with open(store.heartbeat_path("w9"), "w") as fh:
+            fh.write("{")
+        assert [hb["worker"] for hb in store.heartbeats()] == ["w1"]
+
+    def test_heartbeats_outside_result_store(self, tmp_path):
+        # Heartbeats must never surface as results or gate diffs.
+        out = _campaign(tmp_path)
+        store = CampaignStore(out)
+        store.write_heartbeat(_heartbeat("w1"))
+        assert len(list(store.results())) == 2
+        assert store.status()["completed"] == 2
+
+
+class TestFleetStatus:
+    def test_empty_fleet(self, tmp_path):
+        status = fleet_status(_campaign(tmp_path))
+        assert status["completed"] == 2 and status["pending"] == 0
+        assert status["workers"] == []
+        assert status["fleet"]["active"] == 0
+        assert status["fleet"]["eta_s"] is None
+
+    def test_workers_and_eta(self, tmp_path):
+        out = _campaign(tmp_path)
+        store = CampaignStore(out)
+        store.write_heartbeat(_heartbeat("w1", runs_done=2))
+        store.write_heartbeat(_heartbeat("w2", runs_done=2))
+        # Fake two pending runs so the ETA math has work left.
+        status = fleet_status(out)
+        assert status["fleet"]["workers"] == 2
+        assert status["fleet"]["active"] == 2
+        assert status["fleet"]["runs_done"] == 4
+        assert status["fleet"]["mean_run_wall_s"] == 2.0
+        # No pending runs -> ETA 0.
+        assert status["fleet"]["eta_s"] == 0.0
+
+    def test_stale_worker_excluded_from_eta(self, tmp_path):
+        out = _campaign(tmp_path)
+        store = CampaignStore(out)
+        store.write_heartbeat(_heartbeat("w1"))
+        store.write_heartbeat(
+            _heartbeat("w2", age_s=HEARTBEAT_STALE_S + 60)
+        )
+        status = fleet_status(out)
+        by_name = {w["worker"]: w for w in status["workers"]}
+        assert not by_name["w1"]["stale"]
+        assert by_name["w2"]["stale"]
+        assert status["fleet"]["active"] == 1
+
+
+class TestPerRunPerf:
+    def test_records_carry_perf_and_report_aggregates(self, tmp_path):
+        out = _campaign(tmp_path)
+        for record in CampaignStore(out).results():
+            perf = record["perf"]
+            assert perf["deterministic"]["events"] > 0
+            assert perf["wall"]["total_s"] > 0
+        report = campaign_report(out)
+        assert all("eps_wall" in row for row in report["rows"])
+        throughput = report["throughput_wall"]
+        assert throughput["runs"] == 2
+        assert throughput["events"] > 0
+        assert throughput["min_run_eps"] <= throughput["mean_run_eps"]
+        assert throughput["mean_run_eps"] <= throughput["max_run_eps"]
+
+    def test_perf_deterministic_across_jobs(self, tmp_path):
+        out1 = str(tmp_path / "j1")
+        out2 = str(tmp_path / "j2")
+        run_campaign(parse_spec(SPEC, "tel.yaml"), out1, jobs=1)
+        run_campaign(parse_spec(SPEC, "tel.yaml"), out2, jobs=2)
+        det1 = {
+            r["run_id"]: r["perf"]["deterministic"]
+            for r in CampaignStore(out1).results()
+        }
+        det2 = {
+            r["run_id"]: r["perf"]["deterministic"]
+            for r in CampaignStore(out2).results()
+        }
+        assert det1 == det2
+
+
+class TestProgressLine:
+    def test_zero_done(self):
+        assert progress_line(0, 10, 5.0) == "0/10"
+
+    def test_rate_and_eta_seconds(self):
+        line = progress_line(8, 10, 60.0)
+        assert line == "8/10, 8.0 runs/min, ETA 15s"
+
+    def test_eta_minutes(self):
+        line = progress_line(3, 10, 60.0)
+        assert line == "3/10, 3.0 runs/min, ETA 2.3min"
+
+    def test_progress_reported_during_run(self, tmp_path):
+        messages = []
+        run_campaign(
+            parse_spec(SPEC, "tel.yaml"),
+            str(tmp_path / "c"),
+            jobs=1,
+            progress=messages.append,
+        )
+        done_lines = [m for m in messages if "runs/min" in m]
+        assert len(done_lines) == 2
+        assert "ETA" in done_lines[0]
+        assert done_lines[-1].split("(")[1].startswith("2/2")

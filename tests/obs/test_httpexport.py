@@ -40,6 +40,21 @@ class TestEndpoints:
         assert 'repro_outcomes_total{outcome="received"} 3' in body
         assert 'repro_health_score{gateway="0"}' in body
 
+    def test_metrics_includes_attached_perf_probe(self):
+        from repro.obs.perf import PerfProbe
+
+        probe = PerfProbe()
+        with HealthHTTPExporter(metrics=MetricsRegistry()) as exporter:
+            with probe.attach():
+                probe.count("gw.detect", 7)
+                status, body = _get(exporter.url + "/metrics")
+            _, body_after = _get(exporter.url + "/metrics")
+        assert status == 200
+        assert "repro_perf_events_total 7.0" in body
+        assert 'repro_perf_phase_items_total{phase="gw.detect"} 7.0' in body
+        # Detached probe: the gauges disappear with it.
+        assert "repro_perf_events_total" not in body_after
+
     def test_healthz_ok_while_healthy(self):
         with HealthHTTPExporter(monitor=HealthMonitor()) as exporter:
             status, body = _get(exporter.url + "/healthz")

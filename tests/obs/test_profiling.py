@@ -2,6 +2,8 @@
 
 import threading
 
+import pytest
+
 from repro.obs import runtime
 from repro.obs.profiling import SpanAggregator, render_flame, span
 
@@ -90,3 +92,83 @@ class TestRenderFlame:
         assert lines[0].startswith("run")
         assert lines[1].startswith("  gw")
         assert "x3" in lines[1]
+
+
+class TestSelfTime:
+    def _with_aggregator(self):
+        agg = SpanAggregator()
+        runtime.activate(spans=agg)
+        return agg
+
+    def teardown_method(self):
+        runtime.deactivate()
+
+    def test_self_time_excludes_children(self):
+        agg = self._with_aggregator()
+        with span("outer"):
+            with span("inner"):
+                pass
+        summary = agg.flame_summary()
+        outer, inner = summary["outer"], summary["outer/inner"]
+        assert outer["self_s"] <= outer["total_s"]
+        assert outer["self_s"] == pytest.approx(
+            outer["total_s"] - inner["total_s"]
+        )
+        # A leaf's self time is its total time.
+        assert inner["self_s"] == inner["total_s"]
+
+    def test_self_time_never_negative(self):
+        agg = self._with_aggregator()
+        with span("p"):
+            with span("c"):
+                pass
+        assert agg.flame_summary()["p"]["self_s"] >= 0.0
+
+
+class TestRenderFlameSelfOrder:
+    def test_siblings_sorted_by_self_time(self):
+        summary = {
+            "run": {
+                "count": 1, "total_s": 1.0, "self_s": 0.05,
+                "min_s": 1.0, "max_s": 1.0, "mean_s": 1.0,
+            },
+            "run/cheap": {
+                "count": 1, "total_s": 0.15, "self_s": 0.15,
+                "min_s": 0.15, "max_s": 0.15, "mean_s": 0.15,
+            },
+            "run/hot": {
+                "count": 1, "total_s": 0.8, "self_s": 0.8,
+                "min_s": 0.8, "max_s": 0.8, "mean_s": 0.8,
+            },
+        }
+        lines = render_flame(summary).splitlines()
+        assert lines[0].startswith("run")
+        # The hotter own-cost sibling surfaces first.
+        assert lines[1].lstrip().startswith("hot")
+        assert lines[2].lstrip().startswith("cheap")
+
+    def test_self_column_rendered(self):
+        summary = {
+            "s": {
+                "count": 2, "total_s": 0.4, "self_s": 0.4,
+                "min_s": 0.1, "max_s": 0.3, "mean_s": 0.2,
+            },
+        }
+        out = render_flame(summary)
+        assert "self" in out
+        assert "x2" in out
+
+    def test_legacy_summary_without_self_column(self):
+        # Summaries recorded before the self_s column derive it from
+        # the direct children.
+        summary = {
+            "run": {"count": 1, "total_s": 1.0, "min_s": 1.0,
+                    "max_s": 1.0, "mean_s": 1.0},
+            "run/a": {"count": 1, "total_s": 0.7, "min_s": 0.7,
+                      "max_s": 0.7, "mean_s": 0.7},
+            "run/b": {"count": 1, "total_s": 0.2, "min_s": 0.2,
+                      "max_s": 0.2, "mean_s": 0.2},
+        }
+        lines = render_flame(summary).splitlines()
+        assert lines[1].lstrip().startswith("a")
+        assert lines[2].lstrip().startswith("b")
