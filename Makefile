@@ -1,6 +1,6 @@
 # Convenience targets for the AlphaWAN reproduction.
 
-.PHONY: install test lint typecheck bench docs examples all
+.PHONY: install test lint lint-changed typecheck bench docs examples all
 
 install:
 	pip install -e . || python setup.py develop
@@ -9,7 +9,11 @@ test:
 	pytest tests/
 
 lint:
-	PYTHONPATH=src python -m repro.tools lint src tests --baseline lint-baseline.json
+	PYTHONPATH=src python -m repro.tools lint src tests --deep --baseline lint-baseline.json
+
+# Fast local loop: only report files changed vs HEAD.
+lint-changed:
+	PYTHONPATH=src python -m repro.tools lint src tests --deep --changed
 
 typecheck:
 	@python -c "import mypy" 2>/dev/null \

@@ -11,11 +11,14 @@ import os
 import bench_utils
 from bench_utils import report, run_once
 
-from repro.lint import lint_paths
+from repro.lint import lint_paths, run_deep
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 LINT_BUDGET_S = 10.0
+# The deep pass parses + links every module and runs the purity BFS,
+# the lock fixpoint, and the hot-loop walkers: budgeted separately.
+DEEP_BUDGET_S = 30.0
 
 
 def test_lint_full_tree(benchmark):
@@ -40,4 +43,28 @@ def test_lint_full_tree(benchmark):
     assert duration_s < LINT_BUDGET_S, (
         f"lint took {duration_s:.2f} s; budget is {LINT_BUDGET_S} s — "
         "a rule likely regressed to super-linear behaviour"
+    )
+
+
+def test_lint_deep_whole_program(benchmark):
+    result = run_once(
+        benchmark, run_deep, paths=["src", "tests"], root=REPO_ROOT
+    )
+    duration_s = bench_utils._last_run["duration_s"]
+    report(
+        "Lint: whole-program deep pass (call graph + purity/race/perf)",
+        {
+            "files_indexed": result.files_checked,
+            "findings": len(result.findings),
+            "suppressed_inline": result.suppressed,
+            "parse_errors": len(result.parse_errors),
+        },
+    )
+    assert result.parse_errors == []
+    assert result.files_checked > 100
+    # Deep findings are never baselined: the shipped tree must be clean.
+    assert result.findings == []
+    assert duration_s < DEEP_BUDGET_S, (
+        f"deep lint took {duration_s:.2f} s; budget is {DEEP_BUDGET_S} s "
+        "— the call-graph link pass or a fixpoint likely regressed"
     )

@@ -29,6 +29,11 @@ from .models import GatewayModel, get_model
 __all__ = ["Outcome", "GatewayReception", "Gateway"]
 
 
+def _obs_start_s(obs: Observation) -> float:
+    """Sort key for the interference time index (hoisted: hot path)."""
+    return obs.transmission.start_s
+
+
 class Outcome(Enum):
     """Fate of a packet at one gateway."""
 
@@ -167,8 +172,8 @@ class Gateway:
             buckets.setdefault(key, []).append(obs)
         index: Dict[int, Tuple[List[Observation], List[float], float]] = {}
         for key, group in buckets.items():
-            group.sort(key=lambda o: o.transmission.start_s)
-            starts = [o.transmission.start_s for o in group]
+            group.sort(key=_obs_start_s)
+            starts = [_obs_start_s(o) for o in group]
             max_airtime = max(o.transmission.airtime_s for o in group)
             index[key] = (group, starts, max_airtime)
         return index

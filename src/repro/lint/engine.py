@@ -23,6 +23,7 @@ import tokenize
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from .config import DEFAULT_CONFIG, LintConfig, load_config
 from .findings import Finding
 
 __all__ = [
@@ -34,6 +35,7 @@ __all__ = [
     "lint_source",
     "lint_paths",
     "iter_python_files",
+    "is_suppressed",
     "SRC_SCOPE",
     "ALL_SCOPE",
 ]
@@ -94,23 +96,28 @@ class LintContext:
         source: Full file contents.
         tree: Parsed module AST.
         suppressions: line -> set of suppressed rule ids on that line.
+        config: Tree-level linter configuration (DET002 allowlist etc.);
+            defaults to the compiled-in :data:`~repro.lint.config.DEFAULT_CONFIG`.
     """
 
     relpath: str
     source: str
     tree: ast.Module
     suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    config: LintConfig = DEFAULT_CONFIG
 
     def finding(
         self, node: ast.AST, rule_id: str, message: str
     ) -> Finding:
-        """Build a finding anchored at ``node``."""
+        """Build a finding anchored at ``node`` (spanning its lines)."""
+        line = getattr(node, "lineno", 1)
         return Finding(
             path=self.relpath,
-            line=getattr(node, "lineno", 1),
+            line=line,
             col=getattr(node, "col_offset", 0),
             rule_id=rule_id,
             message=message,
+            end_line=getattr(node, "end_lineno", None) or line,
         )
 
 
@@ -153,8 +160,26 @@ def parse_suppressions(source: str) -> Dict[int, Set[str]]:
     return out
 
 
+def is_suppressed(
+    finding: Finding, suppressions: Dict[int, Set[str]]
+) -> bool:
+    """Whether a per-line noqa map suppresses ``finding``.
+
+    A ``# repro: noqa[ID]`` on *any* physical line of the offending
+    statement counts, so multi-line calls can carry the comment on the
+    closing-paren line as naturally as on the first.
+    """
+    for line in range(finding.line, finding.last_line + 1):
+        if finding.rule_id in suppressions.get(line, ()):
+            return True
+    return False
+
+
 def lint_source(
-    relpath: str, source: str, rules: Optional[Sequence[Rule]] = None
+    relpath: str,
+    source: str,
+    rules: Optional[Sequence[Rule]] = None,
+    config: Optional[LintConfig] = None,
 ) -> LintReport:
     """Lint one in-memory file; the core primitive under :func:`lint_paths`."""
     report = LintReport(files_checked=1)
@@ -168,13 +193,14 @@ def lint_source(
         source=source,
         tree=tree,
         suppressions=parse_suppressions(source),
+        config=config if config is not None else DEFAULT_CONFIG,
     )
     selected = list(RULES.values()) if rules is None else list(rules)
     for rule_ in selected:
         if not rule_.applies_to(relpath):
             continue
         for finding in rule_.fn(ctx):
-            if finding.rule_id in ctx.suppressions.get(finding.line, ()):
+            if is_suppressed(finding, ctx.suppressions):
                 report.suppressed += 1
                 continue
             report.findings.append(finding)
@@ -228,15 +254,20 @@ def lint_paths(
     paths: Sequence[str],
     root: Optional[str] = None,
     rules: Optional[Sequence[Rule]] = None,
+    config: Optional[LintConfig] = None,
 ) -> LintReport:
     """Lint every Python file reachable from ``paths``.
 
     Importing :mod:`repro.lint.rules` (done lazily here) populates the
     registry, so callers that only ever use :func:`lint_paths` need no
-    explicit registration step.
+    explicit registration step.  When ``config`` is omitted, the
+    ``[tool.repro-lint]`` table of ``<root>/pyproject.toml`` is loaded
+    (compiled-in defaults when absent).
     """
     from . import rules as _rules  # noqa: F401  (registration side effect)
 
+    if config is None:
+        config = load_config(root)
     report = LintReport()
     for abspath, relpath in iter_python_files(paths, root=root):
         try:
@@ -245,6 +276,6 @@ def lint_paths(
         except OSError as exc:
             report.parse_errors.append(f"{relpath}: {exc}")
             continue
-        report.extend(lint_source(relpath, source, rules=rules))
+        report.extend(lint_source(relpath, source, rules=rules, config=config))
     report.findings.sort()
     return report

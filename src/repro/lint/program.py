@@ -1,0 +1,527 @@
+"""Project-wide symbol table and call graph for the deep lint pass.
+
+Zero-dependency, AST-based: every module under analysis is parsed once
+into a :class:`ModuleInfo` (functions, classes, import aliases, noqa
+suppressions) and cached in-process by file blake2b digest, so repeated
+``lint --deep`` runs in one session re-parse only edited files.  A
+:class:`ProgramIndex` then links call sites to their target functions
+with deliberately conservative heuristics:
+
+* canonical dotted paths through the import-alias map (including
+  relative imports), matched against known function/class qualnames;
+* ``self.method()`` / ``cls.method()`` resolved through the enclosing
+  class and its project-local base classes;
+* ``Class()`` constructor calls resolved to ``Class.__init__``;
+* locals assigned from a project-class constructor
+  (``gw = Gateway(...)``) resolved through that class for
+  ``gw.method()`` calls;
+* a last-resort *unique method name* fallback: ``obj.method()`` links
+  only if exactly one project class defines ``method`` (common
+  container-protocol names are excluded to avoid linking
+  ``queue.append`` to an unrelated class).
+
+Unresolved calls keep their canonical dotted name on the
+:class:`CallSite`, so passes that classify *external* primitives (the
+wall clock, ``random.*``) still see them.  The graph over-approximates
+inside a function (nested defs and lambdas count as part of their
+parent — assumed called) and under-approximates across objects (an
+ambiguous method name links nowhere); DESIGN.md section 9 discusses the
+resulting failure modes per rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .engine import iter_python_files, parse_suppressions
+
+__all__ = [
+    "CallSite",
+    "FunctionInfo",
+    "ClassInfo",
+    "ModuleInfo",
+    "ProgramIndex",
+    "build_program",
+    "module_name_for",
+]
+
+# Method names too generic to trust for unique-name call linking: they
+# collide with list/set/dict/deque/str protocols on ordinary values.
+_AMBIGUOUS_METHOD_NAMES = {
+    "add",
+    "append",
+    "appendleft",
+    "clear",
+    "close",
+    "copy",
+    "count",
+    "decode",
+    "discard",
+    "encode",
+    "extend",
+    "format",
+    "get",
+    "index",
+    "insert",
+    "items",
+    "join",
+    "keys",
+    "pop",
+    "popleft",
+    "put",
+    "read",
+    "remove",
+    "replace",
+    "setdefault",
+    "sort",
+    "split",
+    "strip",
+    "update",
+    "values",
+    "write",
+}
+
+
+def module_name_for(relpath: str) -> str:
+    """Dotted module name of a repo-relative path.
+
+    ``src/repro/sim/engine.py`` -> ``repro.sim.engine``;
+    ``src/repro/obs/__init__.py`` -> ``repro.obs``;
+    ``tests/lint/test_rules.py`` -> ``tests.lint.test_rules``.
+    """
+    parts = relpath.split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body.
+
+    ``callee`` is the canonical dotted name as written (alias-resolved;
+    None when the callee is not a Name/Attribute chain, e.g. a call on
+    a call result).  ``targets`` are qualnames of project functions the
+    call may invoke — empty for external or unresolvable callees.
+    """
+
+    node: ast.Call
+    line: int
+    col: int
+    end_line: int
+    callee: Optional[str]
+    targets: Tuple[str, ...] = ()
+
+
+@dataclass
+class FunctionInfo:
+    """One top-level function or method of an analyzed module."""
+
+    qualname: str
+    module: str
+    relpath: str
+    name: str
+    class_name: Optional[str]
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    lineno: int
+    end_lineno: int
+    calls: List[CallSite] = field(default_factory=list)
+
+
+@dataclass
+class ClassInfo:
+    """One class of an analyzed module."""
+
+    qualname: str
+    module: str
+    name: str
+    bases: Tuple[str, ...]  # canonical dotted names of base expressions
+    methods: Dict[str, str] = field(default_factory=dict)  # name -> qualname
+
+
+@dataclass
+class ModuleInfo:
+    """Parse artifacts of one module (cacheable by content digest)."""
+
+    relpath: str
+    module: str
+    digest: str
+    tree: ast.Module
+    aliases: Dict[str, str]
+    suppressions: Dict[int, Set[str]]
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+
+
+# relpath -> (digest, ModuleInfo): parse cache for the current process.
+_MODULE_CACHE: Dict[str, Tuple[str, ModuleInfo]] = {}
+
+
+def _relative_import_base(module: str, relpath: str, level: int) -> str:
+    """The absolute package a ``from ...x import y`` resolves against."""
+    parts = module.split(".") if module else []
+    # The importing module's package: the module itself for __init__.py,
+    # its parent otherwise.
+    if not relpath.endswith("/__init__.py") and parts:
+        parts = parts[:-1]
+    drop = level - 1
+    if drop:
+        parts = parts[:-drop] if drop <= len(parts) else []
+    return ".".join(parts)
+
+
+def _module_aliases(
+    tree: ast.Module, module: str, relpath: str
+) -> Dict[str, str]:
+    """Import-alias map including relative imports (level > 0)."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                aliases[item.asname or item.name.split(".")[0]] = (
+                    item.name if item.asname else item.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                base = node.module or ""
+            else:
+                base = _relative_import_base(module, relpath, node.level)
+                if node.module:
+                    base = f"{base}.{node.module}" if base else node.module
+            if not base:
+                continue
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                aliases[item.asname or item.name] = f"{base}.{item.name}"
+    return aliases
+
+
+def _canonical(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Canonical dotted path of a Name/Attribute chain, or None."""
+    parts: List[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if not isinstance(cur, ast.Name):
+        return None
+    parts.append(aliases.get(cur.id, cur.id))
+    return ".".join(reversed(parts))
+
+
+def _parse_module(relpath: str, source: str, digest: str) -> ModuleInfo:
+    tree = ast.parse(source, filename=relpath)
+    module = module_name_for(relpath)
+    info = ModuleInfo(
+        relpath=relpath,
+        module=module,
+        digest=digest,
+        tree=tree,
+        aliases=_module_aliases(tree, module, relpath),
+        suppressions=parse_suppressions(source),
+    )
+
+    def add_function(
+        node: ast.AST, class_info: Optional[ClassInfo]
+    ) -> None:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        owner = f"{class_info.qualname}." if class_info else f"{module}."
+        qualname = f"{owner}{node.name}"
+        fn = FunctionInfo(
+            qualname=qualname,
+            module=module,
+            relpath=relpath,
+            name=node.name,
+            class_name=class_info.name if class_info else None,
+            node=node,
+            lineno=node.lineno,
+            end_lineno=getattr(node, "end_lineno", node.lineno),
+        )
+        info.functions[qualname] = fn
+        if class_info is not None:
+            class_info.methods[node.name] = qualname
+
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            add_function(stmt, None)
+        elif isinstance(stmt, ast.ClassDef):
+            bases = tuple(
+                name
+                for name in (
+                    _canonical(b, info.aliases) for b in stmt.bases
+                )
+                if name is not None
+            )
+            cls = ClassInfo(
+                qualname=f"{module}.{stmt.name}",
+                module=module,
+                name=stmt.name,
+                bases=bases,
+            )
+            info.classes[cls.qualname] = cls
+            for sub in stmt.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    add_function(sub, cls)
+    return info
+
+
+@dataclass
+class ProgramIndex:
+    """The linked whole-program view over a set of modules."""
+
+    modules: Dict[str, ModuleInfo] = field(default_factory=dict)  # by relpath
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    parse_errors: List[str] = field(default_factory=list)
+
+    # -- lookups -----------------------------------------------------------
+
+    def module_of(self, fn: FunctionInfo) -> ModuleInfo:
+        return self.modules[fn.relpath]
+
+    def class_of(self, fn: FunctionInfo) -> Optional[ClassInfo]:
+        if fn.class_name is None:
+            return None
+        return self.classes.get(f"{fn.module}.{fn.class_name}")
+
+    def resolve_class(
+        self, name: str, module: Optional[ModuleInfo] = None
+    ) -> Optional[ClassInfo]:
+        """A class by canonical dotted name, trying module-local last."""
+        cls = self.classes.get(name)
+        if cls is None and module is not None and "." not in name:
+            cls = self.classes.get(f"{module.module}.{name}")
+        return cls
+
+    def _method_in_hierarchy(
+        self, cls: ClassInfo, method: str, _depth: int = 0
+    ) -> Optional[str]:
+        if method in cls.methods:
+            return cls.methods[method]
+        if _depth >= 8:  # cycle/diamond guard
+            return None
+        module = None
+        for info in self.modules.values():
+            if info.module == cls.module:
+                module = info
+                break
+        for base_name in cls.bases:
+            base = self.resolve_class(base_name, module)
+            if base is not None and base is not cls:
+                found = self._method_in_hierarchy(
+                    base, method, _depth + 1
+                )
+                if found is not None:
+                    return found
+        return None
+
+    # -- call resolution ---------------------------------------------------
+
+    def _link_module(self, info: ModuleInfo) -> None:
+        method_index: Dict[str, List[str]] = {}
+        for cls in self.classes.values():
+            for name, qualname in cls.methods.items():
+                method_index.setdefault(name, []).append(qualname)
+
+        for fn in info.functions.values():
+            fn.calls = self._extract_calls(fn, info, method_index)
+
+    def _extract_calls(
+        self,
+        fn: FunctionInfo,
+        info: ModuleInfo,
+        method_index: Dict[str, List[str]],
+    ) -> List[CallSite]:
+        own_class = self.class_of(fn)
+        # Locals assigned from project-class constructors: name -> class.
+        constructed: Dict[str, ClassInfo] = {}
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Assign) or not isinstance(
+                node.value, ast.Call
+            ):
+                continue
+            callee = _canonical(node.value.func, info.aliases)
+            cls = (
+                self.resolve_class(callee, info)
+                if callee is not None
+                else None
+            )
+            if cls is None:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    constructed[target.id] = cls
+
+        calls: List[CallSite] = []
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = _canonical(node.func, info.aliases)
+            targets = self._resolve_targets(
+                node, callee, fn, info, own_class, constructed, method_index
+            )
+            calls.append(
+                CallSite(
+                    node=node,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    end_line=getattr(node, "end_lineno", node.lineno),
+                    callee=callee,
+                    targets=tuple(targets),
+                )
+            )
+        return calls
+
+    def _resolve_targets(
+        self,
+        node: ast.Call,
+        callee: Optional[str],
+        fn: FunctionInfo,
+        info: ModuleInfo,
+        own_class: Optional[ClassInfo],
+        constructed: Dict[str, ClassInfo],
+        method_index: Dict[str, List[str]],
+    ) -> List[str]:
+        func = node.func
+        # self.method() / cls.method() through the class hierarchy.
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("self", "cls")
+            and own_class is not None
+        ):
+            found = self._method_in_hierarchy(own_class, func.attr)
+            return [found] if found is not None else []
+        # gw.method() where `gw = Gateway(...)` in this function.
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in constructed
+        ):
+            found = self._method_in_hierarchy(
+                constructed[func.value.id], func.attr
+            )
+            if found is not None:
+                return [found]
+        if callee is not None:
+            # Exact function qualname (module-level or Class.method).
+            if callee in self.functions:
+                return [callee]
+            # Same-module shorthand: local function or class.
+            local = f"{info.module}.{callee}"
+            if local in self.functions:
+                return [local]
+            # Constructor call -> __init__ (class with no __init__ of its
+            # own still terminates the chain: nothing project-side runs).
+            cls = self.resolve_class(callee, info)
+            if cls is not None:
+                found = self._method_in_hierarchy(cls, "__init__")
+                return [found] if found is not None else []
+        # Unique-method-name fallback for attribute calls on values of
+        # unknown type.
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+            if (
+                name not in _AMBIGUOUS_METHOD_NAMES
+                and not name.startswith("__")
+            ):
+                candidates = method_index.get(name, ())
+                if len(candidates) == 1:
+                    return list(candidates)
+        return []
+
+    # -- reachability ------------------------------------------------------
+
+    def resolve_function(self, qualname: str) -> Optional[FunctionInfo]:
+        return self.functions.get(qualname)
+
+    def reachable_chains(
+        self,
+        roots: Sequence[str],
+        stop: Optional[Callable[[FunctionInfo], bool]] = None,
+    ) -> Dict[str, Tuple[str, ...]]:
+        """BFS over the call graph from ``roots``.
+
+        Returns ``{function qualname: shortest call chain from a root}``
+        (the chain includes both endpoints).  Functions for which
+        ``stop`` returns True are included in the result but not
+        expanded — they are analysis *boundaries* (e.g. telemetry
+        sites).
+        """
+        chains: Dict[str, Tuple[str, ...]] = {}
+        queue: deque = deque()
+        for root in roots:
+            if root in self.functions and root not in chains:
+                chains[root] = (root,)
+                queue.append(root)
+        while queue:
+            current = queue.popleft()
+            fn = self.functions[current]
+            if stop is not None and stop(fn) and len(chains[current]) > 1:
+                continue
+            for call in fn.calls:
+                for target in call.targets:
+                    if target in chains or target not in self.functions:
+                        continue
+                    chains[target] = chains[current] + (target,)
+                    queue.append(target)
+        return chains
+
+
+def build_program(
+    paths: Sequence[str], root: Optional[str] = None
+) -> ProgramIndex:
+    """Parse and link every Python file reachable from ``paths``.
+
+    Parse artifacts are cached per file by blake2b digest; the linking
+    pass (call-target resolution) always reruns, because targets depend
+    on every *other* module in the program.
+    """
+    index = ProgramIndex()
+    for abspath, relpath in iter_python_files(paths, root=root):
+        try:
+            with open(abspath, "rb") as fh:
+                raw = fh.read()
+        except OSError as exc:
+            index.parse_errors.append(f"{relpath}: {exc}")
+            continue
+        digest = hashlib.blake2b(raw, digest_size=16).hexdigest()
+        cached = _MODULE_CACHE.get(relpath)
+        if cached is not None and cached[0] == digest:
+            info = cached[1]
+        else:
+            try:
+                source = raw.decode("utf-8")
+                info = _parse_module(relpath, source, digest)
+            except (SyntaxError, UnicodeDecodeError) as exc:
+                msg = getattr(exc, "msg", None) or str(exc)
+                lineno = getattr(exc, "lineno", None)
+                where = f" (line {lineno})" if lineno else ""
+                index.parse_errors.append(f"{relpath}: {msg}{where}")
+                _MODULE_CACHE.pop(relpath, None)
+                continue
+            _MODULE_CACHE[relpath] = (digest, info)
+        index.modules[relpath] = info
+        index.functions.update(info.functions)
+        index.classes.update(info.classes)
+    for info in index.modules.values():
+        index._link_module(info)
+    return index

@@ -197,30 +197,19 @@ _WALL_CLOCK_CALLS = {
     "datetime.date.today",
 }
 
-# Modules that *are* the telemetry layer: wall time is their purpose.
-_TELEMETRY_MODULES = {
-    "src/repro/obs/profiling.py",
-    "src/repro/obs/manifest.py",
-    "src/repro/obs/perf.py",
-}
-
-# (module path, enclosing def) pairs allowed to read the wall clock.
-# Every entry must store its reading only into *_wall_s / *_rtt_s
-# telemetry fields (or use it for I/O retry deadlines, never simulated
-# time).  Adding a site here is a reviewed change to the determinism
-# contract — see DESIGN.md section 9.
-_TELEMETRY_SITES = {
-    ("src/repro/core/master_client.py", "_roundtrip_once"),
-    ("src/repro/core/master_client.py", "_roundtrip"),
-    ("src/repro/core/evolutionary.py", "evolve"),
-    ("src/repro/core/intra_planner.py", "plan"),
-    ("src/repro/core/upgrade.py", "run_capacity_upgrade"),
-}
+# The telemetry allowlist itself — which modules *are* the telemetry
+# layer, and which (module path, enclosing def) pairs may read the wall
+# clock — lives in the ``[tool.repro-lint]`` table of pyproject.toml
+# (``wall-clock-modules`` / ``wall-clock-sites``) and arrives on the
+# context as ``ctx.config``.  Every allowlisted site must store its
+# reading only into *_wall_s / *_rtt_s telemetry fields (or use it for
+# I/O retry deadlines, never simulated time).  Adding a site is a
+# reviewed change to the determinism contract — see DESIGN.md section 9.
 
 
 @rule("DET002", "wall clock confined to allowlisted telemetry sites")
 def det002_wall_clock(ctx: LintContext) -> Iterable[Finding]:
-    if ctx.relpath in _TELEMETRY_MODULES:
+    if ctx.relpath in ctx.config.wall_clock_module_set:
         return
     aliases = _import_aliases(ctx.tree)
     owner = _enclosing_functions(ctx.tree)
@@ -235,7 +224,7 @@ def det002_wall_clock(ctx: LintContext) -> Iterable[Finding]:
         if name not in _WALL_CLOCK_CALLS:
             continue
         site = (ctx.relpath, owner.get(node, "<module>"))
-        if site in _TELEMETRY_SITES:
+        if site in ctx.config.wall_clock_site_set:
             continue
         yield ctx.finding(
             node,

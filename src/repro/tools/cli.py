@@ -23,6 +23,9 @@ Usage::
     python -m repro.tools drill --seed 7 --max-recovery-s 2.0
     python -m repro.tools lint src tests --format json
     python -m repro.tools lint --baseline lint-baseline.json
+    python -m repro.tools lint src tests --deep
+    python -m repro.tools lint src tests --deep --changed
+    python -m repro.tools lint src tests --deep --format sarif > lint.sarif
 
 ``run`` executes an experiment driver and prints (or saves) its series
 as JSON — with ``--trace`` / ``--metrics`` the run executes inside an
@@ -42,7 +45,11 @@ URL, a growing trace file, or a campaign directory's fleet telemetry.  ``drill``
 Master failover drill (:func:`repro.faults.drill.run_drill`): crash
 the Master mid-campaign, recover from snapshot + journal, exit
 non-zero if any crash-safety invariant fails.  ``lint`` runs the
-determinism & invariant linter (:mod:`repro.lint`) over the tree.
+determinism & invariant linter (:mod:`repro.lint`) over the tree;
+``--deep`` adds the whole-program passes (call-graph purity, lock
+discipline, hot-loop hygiene), ``--changed [REF]`` restricts reporting
+to files touched vs a git ref, and ``--format github``/``sarif`` emit
+CI annotations / a code-scanning log.
 """
 
 from __future__ import annotations

@@ -1,0 +1,22 @@
+"""DET010 fixture (root module): staged at ``src/repro/engine.py``.
+
+``run_loop`` is the configured pure root; it calls ``step`` which
+calls ``clock.stamp`` — and stamp reads the wall clock two hops away
+(see ``det010_fail_clock.py``, staged at ``src/repro/clock.py``).
+Expected: exactly one DET010 finding, anchored at the ``time.time()``
+call in clock.py, whose message renders the full chain
+``run_loop -> step -> stamp``.
+"""
+
+from . import clock
+
+
+def run_loop(steps: int) -> float:
+    total = 0.0
+    for _ in range(steps):
+        total += step()
+    return total
+
+
+def step() -> float:
+    return clock.stamp()

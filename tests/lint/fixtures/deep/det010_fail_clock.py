@@ -1,0 +1,8 @@
+"""DET010 fixture (leaf module): staged at ``src/repro/clock.py``."""
+
+import time
+
+
+def stamp() -> float:
+    # Impure: wall clock inside the pure root's call graph.
+    return time.time()

@@ -1,0 +1,6 @@
+"""DET010 fixture (clean leaf): staged at ``src/repro/clock.py``."""
+
+
+def stamp(now_s: float) -> float:
+    # Pure: simulated time in, simulated time out.
+    return now_s + 0.001

@@ -1,0 +1,26 @@
+"""PERF001 fixture: staged at ``src/repro/hotmod.py``.
+
+``hot`` is the configured pure root.  Expected: three PERF001 findings
+— a ``dataclasses.replace`` per iteration, a list rebuilt from itself
+by a comprehension per iteration, and a closure defined in the loop.
+"""
+
+from dataclasses import dataclass, replace
+from typing import Callable, List
+
+
+@dataclass(frozen=True)
+class Rec:
+    x: int
+
+
+def hot(records: List[Rec]) -> List[Rec]:
+    out: List[Rec] = []
+    pending: List[int] = []
+    key: Callable[[Rec], int] = lambda r: r.x
+    for rec in records:
+        out.append(replace(rec, x=rec.x + 1))
+        pending = [p for p in pending if p > rec.x]
+        scale: Callable[[int], int] = lambda v: v * rec.x
+        pending.append(scale(key(rec)))
+    return out

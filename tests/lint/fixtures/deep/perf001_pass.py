@@ -1,0 +1,26 @@
+"""PERF001 fixture (clean): staged at ``src/repro/hotmod.py``.
+
+The same work as ``perf001_fail`` with the allocations restructured:
+records mutated via a plain list of ints, the pending list compacted
+amortized in place, and the closure hoisted out of the loop.
+Expected: no findings.
+"""
+
+from typing import List
+
+
+def _scale(v: int, factor: int) -> int:
+    return v * factor
+
+
+def hot(values: List[int]) -> List[int]:
+    out: List[int] = []
+    pending: List[int] = []
+    for value in values:
+        out.append(value + 1)
+        if len(pending) >= 8:
+            live = [p for p in pending if p > value]
+            if 2 * len(live) <= len(pending):
+                pending = live
+        pending.append(_scale(value, value))
+    return out

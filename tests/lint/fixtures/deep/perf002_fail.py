@@ -1,0 +1,39 @@
+"""PERF002 fixture: staged at ``src/repro/hotmod.py``.
+
+``hot`` is the configured pure root.  Expected: two PERF002 findings —
+the loop-invariant chain ``cfg.radio.bandwidth_hz`` read twice per
+iteration, and the per-item chain ``item.link.snr_db`` read twice in
+one iteration.
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class Radio:
+    bandwidth_hz: float
+
+
+@dataclass(frozen=True)
+class Config:
+    radio: Radio
+
+
+@dataclass(frozen=True)
+class Link:
+    snr_db: float
+
+
+@dataclass(frozen=True)
+class Item:
+    link: Link
+
+
+def hot(cfg: Config, items: List[Item]) -> float:
+    total = 0.0
+    for item in items:
+        total += item.link.snr_db / cfg.radio.bandwidth_hz
+        if item.link.snr_db > 0.0:
+            total -= cfg.radio.bandwidth_hz * 1e-6
+    return total

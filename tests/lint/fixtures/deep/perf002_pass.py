@@ -1,0 +1,40 @@
+"""PERF002 fixture (clean): staged at ``src/repro/hotmod.py``.
+
+Same computation as ``perf002_fail`` with the loop-invariant chain
+hoisted before the loop and the per-item chain bound to an iteration
+local.  Expected: no findings.
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class Radio:
+    bandwidth_hz: float
+
+
+@dataclass(frozen=True)
+class Config:
+    radio: Radio
+
+
+@dataclass(frozen=True)
+class Link:
+    snr_db: float
+
+
+@dataclass(frozen=True)
+class Item:
+    link: Link
+
+
+def hot(cfg: Config, items: List[Item]) -> float:
+    bandwidth_hz = cfg.radio.bandwidth_hz
+    total = 0.0
+    for item in items:
+        snr_db = item.link.snr_db
+        total += snr_db / bandwidth_hz
+        if snr_db > 0.0:
+            total -= bandwidth_hz * 1e-6
+    return total

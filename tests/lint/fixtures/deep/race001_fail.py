@@ -1,0 +1,28 @@
+"""RACE001 fixture: the shape of the fixed ``dropped_requests`` race.
+
+``_dropped`` is incremented under ``self._lock`` on the request path
+but also incremented lock-free on the reaper path — exactly the
+cross-module defect class the per-file rules cannot see.  Expected:
+one RACE001 finding at the unlocked increment in ``reap_idle``.
+"""
+
+import threading
+
+
+class RequestServer:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._dropped = 0
+        self._seen = 0
+
+    def handle(self) -> None:
+        with self._lock:
+            self._seen += 1
+
+    def drop(self) -> None:
+        with self._lock:
+            self._dropped += 1
+
+    def reap_idle(self) -> None:
+        # BUG: same counter, no lock — increments race with drop().
+        self._dropped += 1

@@ -1,0 +1,42 @@
+"""RACE001 fixture: disciplined counterpart of ``race001_fail``.
+
+Every mutation of a guarded attribute holds the inferred lock — either
+lexically or, for the private ``_commit`` helper, on every call path
+into it (the interprocedural must-hold analysis).  ``__init__``
+mutations are exempt: construction happens-before publication.
+"""
+
+import threading
+
+
+class RequestServer:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._dropped = 0
+        self._seen = 0
+
+    def handle(self) -> None:
+        with self._lock:
+            self._seen += 1
+
+    def drop(self) -> None:
+        with self._lock:
+            self._dropped += 1
+
+    def reap_idle(self) -> None:
+        with self._lock:
+            self._dropped += 1
+
+    def settle(self) -> None:
+        with self._lock:
+            self._commit()
+
+    def rollover(self) -> None:
+        with self._lock:
+            self._commit()
+
+    def _commit(self) -> None:
+        # Lock-free mutation, but every caller holds self._lock, so the
+        # must-hold fixpoint proves the guard.
+        self._seen += 1
+        self._dropped = 0

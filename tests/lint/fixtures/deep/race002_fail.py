@@ -1,0 +1,36 @@
+"""RACE002 fixture: lock-ordering hazard and plain-Lock self-deadlock.
+
+Expected: two RACE002 findings — the ``flush`` call into ``pump``
+(acquires ``_qlock`` while ``_slock`` is held: ordering hazard) and
+the ``drain`` call into ``_locked_len`` (re-acquires the non-reentrant
+``_qlock`` already held: self-deadlock).
+"""
+
+import threading
+from typing import List
+
+
+class Pipeline:
+    def __init__(self) -> None:
+        self._slock = threading.Lock()
+        self._qlock = threading.Lock()
+        self._queue: List[int] = []
+        self._sent = 0
+
+    def flush(self) -> None:
+        with self._slock:
+            self._sent += 1
+            self.pump()  # acquires _qlock under _slock: ordering hazard
+
+    def pump(self) -> None:
+        with self._qlock:
+            self._queue.append(1)
+
+    def drain(self) -> int:
+        with self._qlock:
+            self._queue.clear()
+            return self._locked_len()  # re-acquires _qlock: deadlock
+
+    def _locked_len(self) -> int:
+        with self._qlock:
+            return len(self._queue)

@@ -1,0 +1,42 @@
+"""RACE002 fixture: legitimate nested-lock shapes that must stay clean.
+
+Covers the two sanctioned patterns from the threaded modules: the
+health monitor's re-entrant RLock (``report`` calls ``healthz`` while
+holding the same RLock) and the recorder's snapshot-then-call pattern
+(listeners invoked only after the lock is released).
+"""
+
+import threading
+from typing import Callable, List
+
+
+class Monitor:
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._alerts: List[str] = []
+
+    def healthz(self) -> int:
+        with self._lock:
+            return len(self._alerts)
+
+    def report(self) -> int:
+        with self._lock:
+            # Same RLock re-acquired by the callee: re-entrant by
+            # design, not an ordering hazard.
+            return self.healthz()
+
+
+class Recorder:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._listeners: List[Callable[[int], None]] = []
+        self._events: List[int] = []
+
+    def emit(self, event: int) -> None:
+        with self._lock:
+            self._events.append(event)
+            listeners = list(self._listeners)
+        # Listeners run outside the lock (the fixed listener race):
+        # nothing is called while the lock is held.
+        for listener in listeners:
+            listener(event)

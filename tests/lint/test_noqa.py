@@ -1,0 +1,207 @@
+"""Suppression semantics: multi-line statements and cross-module findings.
+
+A ``# repro: noqa[ID]`` comment suppresses a finding when it sits on
+*any* physical line of the flagged statement — not just the line the
+AST anchors the finding to.  For whole-program findings (DET010) two
+sites can carry the comment:
+
+* **definition site** — any line of the impure call inside the callee;
+  suppresses the finding for *every* chain that reaches it (wins; it
+  is strictly broader), and
+* **call site** — the root's call of the chain's first hop; suppresses
+  only chains entering through that edge.
+"""
+
+import textwrap
+
+from repro.lint import LintConfig, lint_source, run_deep
+
+ENGINE_CONFIG = LintConfig(
+    wall_clock_modules=(),
+    wall_clock_sites=(),
+    pure_roots=("repro.engine.run_loop",),
+)
+
+CLOCK = textwrap.dedent(
+    """\
+    import time
+
+
+    def stamp() -> float:
+        return time.time(){defn_noqa}
+    """
+)
+
+ENGINE = textwrap.dedent(
+    """\
+    from . import clock
+
+
+    def step() -> float:
+        return clock.stamp()
+
+
+    def run_loop(n: int) -> float:
+        acc = 0.0
+        for _ in range(n):
+            acc += step(){call_noqa}
+        return acc
+    """
+)
+
+
+def stage(tmp_path, engine_src, clock_src):
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    (pkg / "engine.py").write_text(engine_src)
+    (pkg / "clock.py").write_text(clock_src)
+    return str(tmp_path)
+
+
+class TestMultiLineStatementNoqa:
+    """The comment may sit on any physical line of the statement."""
+
+    SOURCE = textwrap.dedent(
+        """\
+        import random
+
+
+        def sample() -> float:
+            rng = random.Random(
+                None,
+            ){noqa}
+            return rng.random()
+        """
+    )
+
+    def test_unsuppressed_multiline_call_fires(self):
+        report = lint_source("src/repro/mod.py", self.SOURCE.format(noqa=""))
+        assert [f.rule_id for f in report.findings] == ["DET001"]
+
+    def test_noqa_on_closing_line_suppresses(self):
+        report = lint_source(
+            "src/repro/mod.py",
+            self.SOURCE.format(noqa="  # repro: noqa[DET001]"),
+        )
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_noqa_inside_multiline_call_suppresses(self):
+        source = textwrap.dedent(
+            """\
+            import random
+
+
+            def sample() -> float:
+                rng = random.Random(
+                    None,  # repro: noqa[DET001]
+                )
+                return rng.random()
+            """
+        )
+        report = lint_source("src/repro/mod.py", source)
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_noqa_on_unrelated_following_line_does_not_suppress(self):
+        source = textwrap.dedent(
+            """\
+            import random
+
+
+            def sample() -> float:
+                rng = random.Random(
+                    None,
+                )
+                return rng.random()  # repro: noqa[DET001]
+            """
+        )
+        report = lint_source("src/repro/mod.py", source)
+        assert [f.rule_id for f in report.findings] == ["DET001"]
+
+
+class TestCrossModuleNoqa:
+    def test_without_noqa_the_chain_fires(self, tmp_path):
+        root = stage(
+            tmp_path,
+            ENGINE.format(call_noqa=""),
+            CLOCK.format(defn_noqa=""),
+        )
+        report = run_deep(["src"], root=root, config=ENGINE_CONFIG)
+        assert [f.rule_id for f in report.findings] == ["DET010"]
+
+    def test_definition_site_noqa_suppresses_all_chains(self, tmp_path):
+        root = stage(
+            tmp_path,
+            ENGINE.format(call_noqa=""),
+            CLOCK.format(defn_noqa="  # repro: noqa[DET010]"),
+        )
+        report = run_deep(["src"], root=root, config=ENGINE_CONFIG)
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_call_site_noqa_suppresses_that_edge(self, tmp_path):
+        root = stage(
+            tmp_path,
+            ENGINE.format(call_noqa="  # repro: noqa[DET010]"),
+            CLOCK.format(defn_noqa=""),
+        )
+        report = run_deep(["src"], root=root, config=ENGINE_CONFIG)
+        assert report.findings == []
+        # Call-site suppression prunes the chain before a finding is
+        # materialized, so it does not contribute to the suppressed
+        # counter the way a definition-site noqa does.
+        assert report.suppressed == 0
+
+    def test_definition_site_wins_over_other_edges(self, tmp_path):
+        """Definition-site noqa silences chains with no call-site noqa.
+
+        Two roots reach ``stamp``; only one root's edge carries a
+        call-site noqa.  A definition-site comment is still required to
+        silence the other chain — and it alone would have silenced
+        both, which is why the documented precedence is that the
+        definition site wins (it is strictly broader).
+        """
+        engine = textwrap.dedent(
+            """\
+            from . import clock
+
+
+            def step() -> float:
+                return clock.stamp()
+
+
+            def run_loop(n: int) -> float:
+                acc = 0.0
+                for _ in range(n):
+                    acc += step()  # repro: noqa[DET010]
+                return acc
+
+
+            def run_other(n: int) -> float:
+                return float(n) + step()
+            """
+        )
+        config = LintConfig(
+            wall_clock_modules=(),
+            wall_clock_sites=(),
+            pure_roots=(
+                "repro.engine.run_loop",
+                "repro.engine.run_other",
+            ),
+        )
+        root = stage(tmp_path, engine, CLOCK.format(defn_noqa=""))
+        report = run_deep(["src"], root=root, config=config)
+        # run_loop's chain is suppressed at its call site; run_other's
+        # chain still fires because neither site suppresses it.
+        assert [f.rule_id for f in report.findings] == ["DET010"]
+        assert "run_other" in report.findings[0].message
+        # Definition-site suppression covers both chains at once.
+        root2 = stage(
+            tmp_path / "b",
+            engine,
+            CLOCK.format(defn_noqa="  # repro: noqa[DET010]"),
+        )
+        report2 = run_deep(["src"], root=str(root2), config=config)
+        assert report2.findings == []

@@ -1,0 +1,221 @@
+"""Symbol table and call-graph construction (``repro.lint.program``)."""
+
+import textwrap
+
+from repro.lint.program import build_program, module_name_for
+
+
+def write_tree(tmp_path, files):
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+    return str(tmp_path)
+
+
+class TestModuleNaming:
+    def test_src_prefix_is_stripped(self):
+        assert module_name_for("src/repro/sim/engine.py") == "repro.sim.engine"
+
+    def test_init_maps_to_package(self):
+        assert module_name_for("src/repro/sim/__init__.py") == "repro.sim"
+
+    def test_non_src_paths_keep_their_shape(self):
+        assert module_name_for("tests/conftest.py") == "tests.conftest"
+
+
+class TestCallResolution:
+    def test_absolute_and_aliased_imports(self, tmp_path):
+        root = write_tree(
+            tmp_path,
+            {
+                "src/pkg/__init__.py": "",
+                "src/pkg/util.py": """\
+                    def helper() -> int:
+                        return 1
+                    """,
+                "src/pkg/app.py": """\
+                    from pkg import util
+                    from pkg.util import helper as h
+
+
+                    def run() -> int:
+                        return util.helper() + h()
+                    """,
+            },
+        )
+        index = build_program(["src"], root=root)
+        run = index.functions["pkg.app.run"]
+        targets = {t for call in run.calls for t in call.targets}
+        assert targets == {"pkg.util.helper"}
+
+    def test_relative_imports(self, tmp_path):
+        root = write_tree(
+            tmp_path,
+            {
+                "src/pkg/__init__.py": "",
+                "src/pkg/sub/__init__.py": "",
+                "src/pkg/sub/leaf.py": """\
+                    def leaf_fn() -> int:
+                        return 2
+                    """,
+                "src/pkg/sub/mid.py": """\
+                    from . import leaf
+                    from ..top import top_fn
+
+
+                    def go() -> int:
+                        return leaf.leaf_fn() + top_fn()
+                    """,
+                "src/pkg/top.py": """\
+                    def top_fn() -> int:
+                        return 3
+                    """,
+            },
+        )
+        index = build_program(["src"], root=root)
+        go = index.functions["pkg.sub.mid.go"]
+        targets = {t for call in go.calls for t in call.targets}
+        assert targets == {"pkg.sub.leaf.leaf_fn", "pkg.top.top_fn"}
+
+    def test_self_calls_resolve_through_class_hierarchy(self, tmp_path):
+        root = write_tree(
+            tmp_path,
+            {
+                "src/pkg/__init__.py": "",
+                "src/pkg/base.py": """\
+                    class Base:
+                        def shared(self) -> int:
+                            return 1
+                    """,
+                "src/pkg/child.py": """\
+                    from pkg.base import Base
+
+
+                    class Child(Base):
+                        def run(self) -> int:
+                            return self.shared() + self.own()
+
+                        def own(self) -> int:
+                            return 2
+                    """,
+            },
+        )
+        index = build_program(["src"], root=root)
+        run = index.functions["pkg.child.Child.run"]
+        targets = {t for call in run.calls for t in call.targets}
+        assert targets == {
+            "pkg.base.Base.shared",
+            "pkg.child.Child.own",
+        }
+
+    def test_constructor_and_constructed_local(self, tmp_path):
+        root = write_tree(
+            tmp_path,
+            {
+                "src/pkg/__init__.py": "",
+                "src/pkg/gw.py": """\
+                    class Gateway:
+                        def __init__(self, n: int) -> None:
+                            self.n = n
+
+                        def receive(self) -> int:
+                            return self.n
+                    """,
+                "src/pkg/driver.py": """\
+                    from pkg.gw import Gateway
+
+
+                    def drive() -> int:
+                        gw = Gateway(3)
+                        return gw.receive()
+                    """,
+            },
+        )
+        index = build_program(["src"], root=root)
+        drive = index.functions["pkg.driver.drive"]
+        targets = {t for call in drive.calls for t in call.targets}
+        assert targets == {
+            "pkg.gw.Gateway.__init__",
+            "pkg.gw.Gateway.receive",
+        }
+
+    def test_ambiguous_method_names_do_not_resolve(self, tmp_path):
+        """``x.append(...)`` on an unknown receiver must not link to some
+        random class that happens to define ``append``."""
+        root = write_tree(
+            tmp_path,
+            {
+                "src/pkg/__init__.py": "",
+                "src/pkg/buf.py": """\
+                    class Buffer:
+                        def append(self, item: int) -> None:
+                            pass
+                    """,
+                "src/pkg/user.py": """\
+                    def use(items) -> None:
+                        items.append(1)
+                    """,
+            },
+        )
+        index = build_program(["src"], root=root)
+        use = index.functions["pkg.user.use"]
+        targets = {t for call in use.calls for t in call.targets}
+        assert targets == set()
+
+
+class TestReachableChains:
+    def test_shortest_chain_and_boundary(self, tmp_path):
+        root = write_tree(
+            tmp_path,
+            {
+                "src/pkg/__init__.py": "",
+                "src/pkg/mod.py": """\
+                    def root_fn() -> int:
+                        return mid() + probe()
+
+
+                    def mid() -> int:
+                        return deep() + probe()
+
+
+                    def deep() -> int:
+                        return 1
+
+
+                    def probe() -> int:
+                        return behind_probe()
+
+
+                    def behind_probe() -> int:
+                        return 2
+                    """,
+            },
+        )
+        index = build_program(["src"], root=root)
+        chains = index.reachable_chains(
+            ["pkg.mod.root_fn"],
+            stop=lambda fn: fn.name == "probe",
+        )
+        assert chains["pkg.mod.deep"] == (
+            "pkg.mod.root_fn",
+            "pkg.mod.mid",
+            "pkg.mod.deep",
+        )
+        # probe is reached but, as a boundary, never expanded.
+        assert chains["pkg.mod.probe"] == (
+            "pkg.mod.root_fn",
+            "pkg.mod.probe",
+        )
+        assert "pkg.mod.behind_probe" not in chains
+
+    def test_unknown_roots_are_ignored(self, tmp_path):
+        root = write_tree(
+            tmp_path,
+            {
+                "src/pkg/__init__.py": "",
+                "src/pkg/mod.py": "def f() -> int:\n    return 1\n",
+            },
+        )
+        index = build_program(["src"], root=root)
+        assert index.reachable_chains(["pkg.missing.fn"]) == {}

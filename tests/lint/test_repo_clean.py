@@ -7,7 +7,14 @@ parse errors, and no stale grandfather entries left in the baseline.
 
 import os
 
-from repro.lint import apply_baseline, lint_paths, load_baseline
+from repro.lint import (
+    apply_baseline,
+    build_program,
+    lint_paths,
+    load_baseline,
+    load_config,
+    run_deep,
+)
 
 REPO_ROOT = os.path.dirname(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -27,6 +34,42 @@ def test_repo_tree_lints_clean():
     assert stale == set(), (
         "baseline entries whose findings are fixed; remove them from "
         f"lint-baseline.json: {sorted(stale)}"
+    )
+
+
+def test_repo_tree_deep_lints_clean():
+    """The whole-program pass holds with no baseline at all.
+
+    Deep findings are never grandfathered (DESIGN.md section 9.4):
+    their messages embed call chains, which churn with refactors, so a
+    true positive must be fixed or carry an inline justified noqa.
+    """
+    report = run_deep(["src"], root=REPO_ROOT)
+    assert report.parse_errors == []
+    assert report.findings == [], "deep findings:\n" + "\n".join(
+        f"{f.path}:{f.line}: {f.rule_id} {f.message}"
+        for f in report.findings
+    )
+
+
+def test_configured_pure_roots_resolve():
+    """Every configured root must exist in the symbol table; a rename
+    must not silently turn DET010/PERF into a no-op."""
+    config = load_config(REPO_ROOT)
+    index = build_program(["src"], root=REPO_ROOT)
+    missing = [
+        root for root in config.pure_roots if root not in index.functions
+    ]
+    assert missing == [], (
+        "pure-roots in pyproject.toml no longer resolve; update the "
+        f"[tool.repro-lint] table: {missing}"
+    )
+    # And the traversal genuinely fans out — a linker regression that
+    # strands the roots would silently gut the purity/perf passes.
+    chains = index.reachable_chains(list(config.pure_roots))
+    assert len(chains) > 20, (
+        f"only {len(chains)} functions reachable from the pure roots; "
+        "the call-graph linker lost its edges"
     )
 
 

@@ -251,12 +251,13 @@ class TestLintAllowlist:
         import os
 
         from repro.lint import lint_paths
-        from repro.lint.rules import _TELEMETRY_MODULES
+        from repro.lint.config import load_config
 
         root = os.path.dirname(
             os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
         )
-        assert "src/repro/obs/perf.py" in _TELEMETRY_MODULES
+        config = load_config(root)
+        assert "src/repro/obs/perf.py" in config.wall_clock_module_set
         report = lint_paths(["src/repro/obs/perf.py"], root=root)
         assert report.files_checked == 1
         assert [f for f in report.findings if f.rule_id == "DET002"] == []
