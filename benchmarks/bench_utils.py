@@ -24,18 +24,21 @@ _BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
 _last_run = {}
 
 
-def run_once(benchmark, fn, health=False, **kwargs):
+def run_once(benchmark, fn, health=False, flight=False, **kwargs):
     """Time one full experiment run (no warmup: these are minutes-long).
 
     ``health=True`` additionally attaches a streaming
     :class:`~repro.obs.health.HealthMonitor` to the session (the
-    observatory's overhead benchmark compares the two modes).
+    observatory's overhead benchmark compares the two modes);
+    ``flight`` attaches a black-box
+    :class:`~repro.obs.flight.FlightRecorder` the same way.
     """
     counts = {}
 
     def observed(**kw):
         with observe(
-            trace=True, metrics=False, spans=False, health=health
+            trace=True, metrics=False, spans=False, health=health,
+            flight=flight,
         ) as session:
             # Count-only mode: emit() tallies per-type counts before the
             # storage-cap check, so a zero cap keeps memory flat while

@@ -148,6 +148,7 @@ def campaign_report(out_dir: str) -> Dict[str, Any]:
         "total": status["total"],
         "completed": status["completed"],
         "pending": status["pending"],
+        "trace_shards": status.get("trace_shards", 0),
         "rows": rows,
         "aggregates": aggregates,
         "throughput_wall": throughput,

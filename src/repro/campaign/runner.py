@@ -20,6 +20,16 @@ touching the result files.
 Wall-clock readings are confined to the run manifests, the ``perf``
 ``wall`` section, and the heartbeats (all via :mod:`repro.obs.manifest`
 helpers); comparisons scrub them.
+
+Causal tracing (``trace=True``): the campaign mints one
+:class:`~repro.obs.causal.TraceContext` root from its name and spec
+digest; every worker derives a child span for its run, records the run
+under a full observability session (with a flight recorder pointed at
+the trace directory), and writes a per-run shard to
+``<out>/traces/<run_id>.jsonl``.  Contexts and shard contents are
+derived purely from the spec, so the shard set is byte-identical at any
+parallelism and ``repro.tools trace merge`` reassembles one
+deterministic campaign-wide trace.
 """
 
 from __future__ import annotations
@@ -28,6 +38,10 @@ import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Any, Callable, Dict, List, Optional
 
+from ..obs import observe
+from ..obs import runtime as _obs_runtime
+from ..obs.causal import TraceContext
+from ..obs.flight import FlightRecorder
 from ..obs.manifest import Stopwatch, build_manifest, utc_now_iso, wall_now_s
 from ..obs.perf import PerfProbe, maybe_attach
 from ..scenarios.compile import execute_run
@@ -79,10 +93,53 @@ def _emit_heartbeat(
         pass  # telemetry only: never fail a run over a heartbeat
 
 
+def _run_traced(
+    run: RunConfig, store: CampaignStore, trace_root: Dict[str, Any]
+) -> Any:
+    """Execute ``run`` under a causal-tracing session; write its shard.
+
+    The worker adopts a child span of the campaign root (derived from
+    the run id — deterministic at any parallelism), records every sim
+    and control-plane event, and keeps a flight recorder pointed at the
+    trace directory so a crashing worker leaves a black-box dump next
+    to the shards.  The shard is written atomically even when the run
+    raises — a partial trace is exactly what the post-mortem needs.
+    """
+    root = TraceContext.from_wire(trace_root)
+    if root is None:
+        return execute_run(run)
+    os.makedirs(store.traces_dir, exist_ok=True)
+    flight = FlightRecorder(out_dir=store.traces_dir)
+    manifest = {
+        "experiment": root.run_id,
+        "run_id": run.run_id,
+        "run_index": run.index,
+        "seed": run.seed,
+    }
+    with observe(
+        trace=True, metrics=False, spans=False, flight=flight, manifest=manifest
+    ) as session:
+        assert session.recorder is not None
+        session.recorder.set_context(root.child(run.run_id))
+        try:
+            result = execute_run(run)
+        except Exception:
+            flight.dump(reason="worker_error")
+            store.write_trace_shard(
+                run.run_id, session.recorder.to_jsonl(include_wall=False)
+            )
+            raise
+        store.write_trace_shard(
+            run.run_id, session.recorder.to_jsonl(include_wall=False)
+        )
+    return result
+
+
 def execute_one(
     run: RunConfig,
     experiment: str = "campaign",
     out_dir: Optional[str] = None,
+    trace_root: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Execute one run and wrap it into a self-contained store record.
 
@@ -92,11 +149,28 @@ def execute_one(
     perf report (``perf`` key: deterministic phase counts + wall-only
     throughput) is attached opportunistically — an outer probe (e.g.
     ``repro.tools profile`` around a whole campaign) takes precedence.
+    With ``trace_root`` (the campaign root context's wire form) the run
+    executes under a tracing session and leaves a shard in the store's
+    trace directory — unless an observability session is already active
+    in this process (sessions don't nest; the outer one wins).
     """
     watch = Stopwatch()
     probe = PerfProbe(sample_every=WORKER_SAMPLE_EVERY)
+    traceable = (
+        trace_root is not None
+        and out_dir is not None
+        and _obs_runtime.TRACE is None
+        and _obs_runtime.METRICS is None
+        and _obs_runtime.SPANS is None
+        and _obs_runtime.HEALTH is None
+        and _obs_runtime.FLIGHT is None
+    )
     with maybe_attach(probe) as attached:
-        result = execute_run(run)
+        if traceable:
+            assert out_dir is not None and trace_root is not None
+            result = _run_traced(run, CampaignStore(out_dir), trace_root)
+        else:
+            result = execute_run(run)
     wall_s = watch.elapsed_s()
     manifest = build_manifest(
         experiment=experiment,
@@ -143,6 +217,7 @@ def run_campaign(
     jobs: int = 1,
     resume: bool = True,
     progress: Optional[ProgressFn] = None,
+    trace: bool = False,
 ) -> Dict[str, Any]:
     """Run every pending run of ``spec`` into the store at ``out_dir``.
 
@@ -155,6 +230,8 @@ def run_campaign(
             ``resume=False`` every run re-executes and overwrites.
         progress: Optional callback for one-line progress messages
             (completion counts, runs/min, ETA).
+        trace: Record each run under a causal-tracing session and write
+            per-run shards to ``<out>/traces/`` (see module docstring).
 
     Returns:
         Summary dict: totals, the runs executed/skipped, store paths.
@@ -165,6 +242,13 @@ def run_campaign(
     store = CampaignStore(out_dir)
     store.initialize(spec)
     store.clear_heartbeats()  # stale telemetry from a previous attempt
+    trace_root: Optional[Dict[str, Any]] = None
+    if trace:
+        # One root per campaign identity: name + spec digest, so the
+        # same campaign re-run (or resumed) rejoins the same trace.
+        trace_root = TraceContext.root(
+            f"{spec.name}:{spec.digest}", seed=0
+        ).to_wire()
     runs = spec.runs()
     done = store.completed_run_ids() if resume else set()
     pending = [r for r in runs if r.run_id not in done]
@@ -187,13 +271,13 @@ def run_campaign(
 
     if jobs == 1 or len(pending) <= 1:
         for run in pending:
-            _finish(store, spec, run, out_dir, failures, executed, say)
+            _finish(store, spec, run, out_dir, failures, executed, say, trace_root)
             if executed and executed[-1] == run.run_id:
                 announce(run.run_id)
     else:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = {
-                pool.submit(execute_one, run, spec.name, out_dir): run
+                pool.submit(execute_one, run, spec.name, out_dir, trace_root): run
                 for run in pending
             }
             remaining = set(futures)
@@ -212,7 +296,7 @@ def run_campaign(
                     announce(run.run_id)
 
     store.clear_heartbeats()  # fleet is gone; drop the live telemetry
-    return {
+    summary = {
         "name": spec.name,
         "spec_digest": spec.digest,
         "out_dir": out_dir,
@@ -222,6 +306,11 @@ def run_campaign(
         "failed": failures,
         "completed": len(store.completed_run_ids()),
     }
+    if trace_root is not None:
+        summary["trace_id"] = trace_root["trace"]
+        summary["trace_shards"] = len(store.trace_shards())
+        summary["traces_dir"] = store.traces_dir
+    return summary
 
 
 def _finish(
@@ -232,9 +321,10 @@ def _finish(
     failures: List[Dict[str, Any]],
     executed: List[str],
     say: ProgressFn,
+    trace_root: Optional[Dict[str, Any]] = None,
 ) -> None:
     try:
-        record = execute_one(run, spec.name, out_dir)
+        record = execute_one(run, spec.name, out_dir, trace_root)
     except Exception as exc:  # noqa: BLE001 - reported per run
         failures.append({"run_id": run.run_id, "error": str(exc)})
         say(f"run {run.run_id} FAILED: {exc}")

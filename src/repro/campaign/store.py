@@ -5,6 +5,7 @@ Layout of one campaign directory::
     <dir>/campaign.json        index: spec digest, name, full run grid
     <dir>/spec.resolved.yaml   the fully resolved spec the grid came from
     <dir>/runs/<run_id>.json   one self-contained record per finished run
+    <dir>/traces/<run_id>.jsonl  per-run trace shard (traced campaigns)
 
 Every write is atomic (temp file + :func:`os.replace`), so a campaign
 killed mid-run never leaves a torn record: on resume, a run file either
@@ -28,6 +29,7 @@ INDEX_NAME = "campaign.json"
 SPEC_NAME = "spec.resolved.yaml"
 RUNS_DIR = "runs"
 HEARTBEAT_DIR = "heartbeats"
+TRACES_DIR = "traces"
 
 # A worker heartbeat older than this (by its own epoch stamp) is shown
 # as stale: the worker likely exited without cleanup.
@@ -73,6 +75,29 @@ class CampaignStore:
 
     def heartbeat_path(self, worker: str) -> str:
         return os.path.join(self.heartbeat_dir, f"{worker}.json")
+
+    @property
+    def traces_dir(self) -> str:
+        return os.path.join(self.root, TRACES_DIR)
+
+    def trace_path(self, run_id: str) -> str:
+        return os.path.join(self.traces_dir, f"{run_id}.jsonl")
+
+    def trace_shards(self) -> List[str]:
+        """Per-run trace shard files, sorted by name (merge input).
+
+        Flight-recorder dumps (``flight-*.jsonl``) live in the same
+        directory but are diagnostics, not shards.
+        """
+        try:
+            names = os.listdir(self.traces_dir)
+        except FileNotFoundError:
+            return []
+        return [
+            os.path.join(self.traces_dir, name)
+            for name in sorted(names)
+            if name.endswith(".jsonl") and not name.startswith("flight-")
+        ]
 
     # -- lifecycle --------------------------------------------------------
 
@@ -167,6 +192,13 @@ class CampaignStore:
                 out.append(record)
         return sorted(out, key=lambda r: r.get("index", 0))
 
+    def write_trace_shard(self, run_id: str, jsonl: str) -> str:
+        """Persist one run's trace shard atomically; returns the path."""
+        os.makedirs(self.traces_dir, exist_ok=True)
+        path = self.trace_path(run_id)
+        _atomic_write(path, jsonl)
+        return path
+
     # -- worker heartbeats -------------------------------------------------
     #
     # One JSON file per worker under <dir>/heartbeats/, written
@@ -239,5 +271,6 @@ class CampaignStore:
             "total": len(runs),
             "completed": completed,
             "pending": len(runs) - completed,
+            "trace_shards": len(self.trace_shards()),
             "runs": runs,
         }

@@ -37,7 +37,9 @@ from contextlib import contextmanager
 from typing import Any, Dict, Iterator, Optional, Union
 
 from . import runtime
+from .causal import TraceContext, derive_id
 from .events import EventType, TraceEvent
+from .flight import FlightRecorder
 from .health import Alert, AlertRule, HealthMonitor, health_score, health_status
 from .logconf import setup_logging
 from .manifest import build_manifest, config_digest, git_revision, scrub_wall_fields
@@ -72,6 +74,9 @@ __all__ = [
     "EventType",
     "TraceEvent",
     "TraceRecorder",
+    "TraceContext",
+    "derive_id",
+    "FlightRecorder",
     "MetricsRegistry",
     "Counter",
     "Gauge",
@@ -125,11 +130,13 @@ class ObservabilitySession:
         metrics: Optional[MetricsRegistry],
         spans: Optional[SpanAggregator],
         health: Optional[HealthMonitor] = None,
+        flight: Optional[FlightRecorder] = None,
     ) -> None:
         self.recorder = recorder
         self.metrics = metrics
         self.spans = spans
         self.health = health
+        self.flight = flight
 
     def flame(self) -> str:
         """Rendered flame summary of the recorded spans."""
@@ -150,6 +157,7 @@ def observe(
     metrics: bool = True,
     spans: bool = True,
     health: Union[bool, HealthMonitor] = False,
+    flight: Union[bool, FlightRecorder] = False,
     manifest: Optional[Dict[str, Any]] = None,
 ) -> Iterator[ObservabilitySession]:
     """Activate observability for the dynamic extent of the block.
@@ -161,13 +169,17 @@ def observe(
     ``True`` for default alert rules, or a configured monitor).  The
     monitor subscribes to the event stream, so enabling health with
     ``trace=False`` still creates a count-only recorder (``max_events=0``
-    — events feed the listeners but are not stored).
+    — events feed the listeners but are not stored).  ``flight``
+    likewise enables the bounded :class:`FlightRecorder` black box
+    (pass ``True`` for defaults, or a configured recorder); it too
+    rides the listener bus, so it works with full tracing off.
     """
     if (
         runtime.TRACE is not None
         or runtime.METRICS is not None
         or runtime.SPANS is not None
         or runtime.HEALTH is not None
+        or runtime.FLIGHT is not None
     ):
         raise RuntimeError("an observability session is already active")
     monitor: Optional[HealthMonitor] = None
@@ -175,20 +187,30 @@ def observe(
         monitor = health
     elif health:
         monitor = HealthMonitor()
+    black_box: Optional[FlightRecorder] = None
+    if isinstance(flight, FlightRecorder):
+        black_box = flight
+    elif flight:
+        black_box = FlightRecorder()
     recorder: Optional[TraceRecorder] = None
     if trace:
         recorder = TraceRecorder(manifest=manifest)
-    elif monitor is not None:
+    elif monitor is not None or black_box is not None:
         recorder = TraceRecorder(manifest=manifest, max_events=0)
     if recorder is not None and monitor is not None:
         recorder.add_listener(monitor.observe_event)
+    if recorder is not None and black_box is not None:
+        recorder.add_listener(black_box.observe_event)
     session = ObservabilitySession(
         recorder=recorder,
         metrics=MetricsRegistry() if metrics else None,
         spans=SpanAggregator() if spans else None,
         health=monitor,
+        flight=black_box,
     )
-    runtime.activate(session.recorder, session.metrics, session.spans, monitor)
+    runtime.activate(
+        session.recorder, session.metrics, session.spans, monitor, black_box
+    )
     try:
         yield session
     finally:

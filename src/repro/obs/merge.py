@@ -1,0 +1,193 @@
+"""Deterministic multi-shard trace merge.
+
+A distributed run (campaign workers, Master + clients, drill
+incarnations) writes one JSONL shard per process.  This module joins
+them into **one causally-ordered trace** under a determinism contract:
+
+* **Primary order: simulation time.**  Control-plane events carry no
+  ``t``; each inherits its shard's carry-forward watermark (the last
+  sim-time seen before it), so "Master crashed between t=4 and t=5"
+  lands between those receptions.
+* **Tiebreak: Lamport clock.**  Every v2 event carries ``lam`` stamped
+  at enqueue (see :mod:`repro.obs.recorder`); because clocks max-merge
+  on every wire hop, ``lam`` respects the happened-before relation
+  across processes.
+* **Final tiebreaks: shard id, then shard-local sequence** — both
+  derived from content, never from completion order or file mtimes.
+
+Same shards ⇒ byte-identical merge, regardless of worker count or the
+order the scheduler finished them in.  ``repro.tools regress`` can
+therefore gate on the merge digest.
+
+Merged events keep their fields and gain ``shard`` (the source shard
+id) and ``sseq`` (the shard-local sequence); ``seq`` is rewritten to
+the global order.  The merged manifest is synthetic — per-shard
+summaries with wall-clock fields scrubbed — so the output is itself a
+valid, deterministic trace for ``summarize``/``query``/``explain``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .events import EventType
+from .manifest import scrub_wall_fields
+from .recorder import TRACE_SCHEMA_VERSION, load_trace
+
+__all__ = [
+    "MergeError",
+    "discover_shards",
+    "load_shard",
+    "merge_shards",
+    "merge_to_jsonl",
+    "merge_digest",
+]
+
+
+class MergeError(ValueError):
+    """A shard set that cannot be merged deterministically."""
+
+
+def discover_shards(path: str) -> List[str]:
+    """Shard files under ``path`` (a directory) or ``[path]`` (a file).
+
+    Directory listings are sorted by name — content-derived, stable.
+    Flight-recorder dumps (``flight-*.jsonl``) are diagnostics, not
+    shards, and are skipped.
+    """
+    if os.path.isdir(path):
+        names = sorted(
+            n
+            for n in os.listdir(path)
+            if n.endswith(".jsonl") and not n.startswith("flight-")
+        )
+        if not names:
+            raise MergeError(f"no trace shards (*.jsonl) in directory: {path}")
+        return [os.path.join(path, n) for n in names]
+    return [path]
+
+
+def load_shard(path: str) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Load one shard, returning ``(manifest, events)``.
+
+    A shard must carry exactly one manifest, as its first line —
+    concatenated files (the classic ``cat shards/* > all.jsonl``
+    mistake) are refused here rather than silently mis-merged.
+    """
+    rows = load_trace(path)
+    manifests = [r for r in rows if r.get("type") == EventType.MANIFEST]
+    if not manifests:
+        raise MergeError(f"shard has no manifest line: {path}")
+    if len(manifests) > 1:
+        raise MergeError(
+            f"shard has {len(manifests)} manifest lines (concatenated "
+            f"shards?): {path} — merge the original shards with "
+            "'repro.tools trace merge' instead"
+        )
+    if rows[0].get("type") != EventType.MANIFEST:
+        raise MergeError(f"manifest is not the first line of shard: {path}")
+    return manifests[0], rows[1:]
+
+
+def _shard_id(manifest: Dict[str, Any], path: str) -> str:
+    """Content-derived shard identity (span id, else the file stem)."""
+    ctx = manifest.get("ctx")
+    if isinstance(ctx, dict) and isinstance(ctx.get("span"), str):
+        return ctx["span"]
+    return os.path.splitext(os.path.basename(path))[0]
+
+
+def _shard_summary(manifest: Dict[str, Any], events: int) -> Dict[str, Any]:
+    """Wall-free manifest digest kept in the merged header."""
+    summary = scrub_wall_fields(
+        {k: v for k, v in manifest.items() if k not in ("type", "schema")}
+    )
+    summary["events"] = events
+    return summary
+
+
+def merge_shards(paths: Sequence[str]) -> List[Dict[str, Any]]:
+    """Merge shard files into one causally-ordered trace (dict rows).
+
+    Raises :class:`MergeError` on malformed shards or duplicate shard
+    identities (two shards claiming one span cannot be ordered).
+    """
+    if not paths:
+        raise MergeError("no shards to merge")
+    shards: List[Tuple[str, Dict[str, Any], List[Dict[str, Any]]]] = []
+    for path in paths:
+        manifest, events = load_shard(path)
+        shards.append((_shard_id(manifest, path), manifest, events))
+    shards.sort(key=lambda s: s[0])
+    seen_ids = set()
+    for sid, _, _ in shards:
+        if sid in seen_ids:
+            raise MergeError(f"duplicate shard id: {sid}")
+        seen_ids.add(sid)
+
+    # (eff_t, lam, shard_index, sseq) -> event
+    keyed: List[Tuple[Tuple[float, int, int, int], Dict[str, Any]]] = []
+    for index, (sid, _, events) in enumerate(shards):
+        watermark = float("-inf")
+        for ev in events:
+            t = ev.get("t")
+            if isinstance(t, (int, float)):
+                watermark = float(t)
+            lam = ev.get("lam")
+            if not isinstance(lam, int) or isinstance(lam, bool):
+                lam = 0  # v1 shard: fall through to shard/seq order
+            sseq = ev.get("seq")
+            if not isinstance(sseq, int):
+                raise MergeError(f"event without seq in shard {sid}")
+            merged = dict(ev)
+            merged["shard"] = sid
+            merged["sseq"] = sseq
+            keyed.append(((watermark, lam, index, sseq), merged))
+    keyed.sort(key=lambda kv: kv[0])
+
+    traces = sorted(
+        {
+            m["ctx"]["trace"]
+            for _, m, _ in shards
+            if isinstance(m.get("ctx"), dict)
+            and isinstance(m["ctx"].get("trace"), str)
+        }
+    )
+    head: Dict[str, Any] = {
+        "type": EventType.MANIFEST,
+        "schema": TRACE_SCHEMA_VERSION,
+        "merged": True,
+        "shards": [
+            {"id": sid, **_shard_summary(manifest, len(events))}
+            for sid, manifest, events in shards
+        ],
+    }
+    if len(traces) == 1:
+        head["trace"] = traces[0]
+    elif traces:
+        head["traces"] = traces
+
+    out: List[Dict[str, Any]] = [head]
+    for seq, (_, ev) in enumerate(keyed, start=1):
+        ev["seq"] = seq
+        out.append(ev)
+    return out
+
+
+def merge_to_jsonl(paths: Sequence[str]) -> str:
+    """Merged trace serialised as JSON Lines text."""
+    return (
+        "\n".join(
+            json.dumps(row, separators=(",", ":"), sort_keys=True)
+            for row in merge_shards(paths)
+        )
+        + "\n"
+    )
+
+
+def merge_digest(jsonl: str) -> str:
+    """SHA-256 of a merged trace (the regress-gate identity)."""
+    return hashlib.sha256(jsonl.encode()).hexdigest()

@@ -1,0 +1,404 @@
+"""Trace query language and the packet ``explain`` engine.
+
+``repro.tools trace query`` filters a trace with a tiny expression
+language — whitespace-separated clauses of the form ``field OP value``
+(no spaces inside a clause), all of which must hold::
+
+    type=gw.reception outcome=gateway_offline
+    type=decoder.reject gw=2 t>=10 t<20
+    lam>=100 shard!=w-a1b2
+
+Operators: ``=``, ``!=``, ``<``, ``<=``, ``>``, ``>=``.  Values coerce
+to numbers when both sides are numeric; otherwise comparison is string
+equality (ordering operators on non-numeric fields never match).  A
+clause on a missing field fails, except ``!=`` which holds vacuously.
+
+``repro.tools trace explain NET:NODE:CTR[:ATT]`` reconstructs one
+packet's causal chain: its lifecycle events in merged order, the
+packet-level outcome (mirroring the loss-attribution precedence of
+:mod:`repro.sim.metrics` — decoder contention before channel contention
+before everything else), the single **outcome-deciding event**
+(highlighted ``>>>``), and the surrounding control-plane context
+(Master faults, gateway reboots) that explains *why* — including
+events from other processes when run on a merged trace.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .events import EventType
+from .timeline import _PACKET_EVENTS
+
+__all__ = [
+    "QueryError",
+    "ExplainError",
+    "parse_query",
+    "query_events",
+    "parse_packet_id",
+    "explain_packet",
+    "render_explain",
+]
+
+Event = Dict[str, Any]
+
+# Longest-match-first so "<=" is not read as "<" followed by "=value".
+_OPS = ("<=", ">=", "!=", "=", "<", ">")
+
+# Packet-level outcome precedence (first match decides), mirroring the
+# loss-attribution order of repro.sim.metrics: delivery, then decoder
+# contention, then channel contention, then everything else.
+_OUTCOME_PRECEDENCE = (
+    "received",
+    "backhaul_lost",
+    "no_decoder",
+    "decode_failed",
+    "gateway_offline",
+    "channel_mismatch",
+    "below_sensitivity",
+    "filtered_foreign",
+)
+
+# Control-plane event types shown as context around a packet's chain.
+_CONTEXT_TYPES = frozenset(
+    {
+        EventType.GW_REBOOT,
+        EventType.POOL_RESIZE,
+        EventType.NETSERVER_DEGRADED,
+        EventType.MASTER_RETRY,
+        EventType.MASTER_UNAVAILABLE,
+        EventType.MASTER_DROPPED,
+        EventType.MASTER_CRASH,
+        EventType.MASTER_RECOVERED,
+        EventType.MASTER_READONLY,
+        EventType.MASTER_CONN_REAPED,
+    }
+)
+
+# Merged-order positions scanned either side of the packet's events
+# when collecting control-plane context.
+_CONTEXT_WINDOW = 40
+
+
+class QueryError(ValueError):
+    """A filter expression that does not parse."""
+
+
+class ExplainError(ValueError):
+    """A packet reference that cannot be (unambiguously) explained."""
+
+
+# -- query ----------------------------------------------------------------
+
+
+def parse_query(expr: str) -> List[Tuple[str, str, Any]]:
+    """Parse ``expr`` into ``(field, op, value)`` clauses."""
+    clauses: List[Tuple[str, str, Any]] = []
+    for token in expr.split():
+        for op in _OPS:
+            field, sep, raw = token.partition(op)
+            if sep and field:
+                clauses.append((field, op, _coerce(raw)))
+                break
+        else:
+            raise QueryError(
+                f"bad clause {token!r}: expected field OP value with OP "
+                f"one of {', '.join(_OPS)}"
+            )
+    if not clauses:
+        raise QueryError("empty query")
+    return clauses
+
+
+def _coerce(raw: str) -> Any:
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        return raw
+
+
+def _matches(ev: Event, field: str, op: str, value: Any) -> bool:
+    if field not in ev:
+        return op == "!="
+    actual = ev[field]
+    if isinstance(actual, (int, float)) and isinstance(value, (int, float)):
+        a, b = float(actual), float(value)
+        if op == "=":
+            return a == b
+        if op == "!=":
+            return a != b
+        if op == "<":
+            return a < b
+        if op == "<=":
+            return a <= b
+        if op == ">":
+            return a > b
+        return a >= b
+    # Non-numeric: only (in)equality is meaningful.
+    if op == "=":
+        return str(actual) == str(value)
+    if op == "!=":
+        return str(actual) != str(value)
+    return False
+
+
+def query_events(events: Sequence[Event], expr: str) -> List[Event]:
+    """Events matching every clause of ``expr`` (manifest excluded)."""
+    clauses = parse_query(expr)
+    return [
+        ev
+        for ev in events
+        if ev.get("type") != EventType.MANIFEST
+        and all(_matches(ev, f, op, v) for f, op, v in clauses)
+    ]
+
+
+# -- explain --------------------------------------------------------------
+
+
+def parse_packet_id(packet_id: str) -> Tuple[int, int, int, Optional[int]]:
+    """Parse ``NET:NODE:CTR[:ATT]`` into its integer components."""
+    parts = packet_id.split(":")
+    if len(parts) not in (3, 4):
+        raise ExplainError(
+            f"bad packet id {packet_id!r}: expected NET:NODE:CTR[:ATT]"
+        )
+    try:
+        nums = [int(p) for p in parts]
+    except ValueError:
+        raise ExplainError(
+            f"bad packet id {packet_id!r}: components must be integers"
+        ) from None
+    net, node, ctr = nums[:3]
+    att = nums[3] if len(nums) == 4 else None
+    return net, node, ctr, att
+
+
+def _is_packet_event(
+    ev: Event, net: int, node: int, ctr: int, att: Optional[int]
+) -> bool:
+    if ev.get("type") not in _PACKET_EVENTS:
+        return False
+    if ev.get("net") != net or ev.get("node") != node:
+        return False
+    if ev.get("ctr", 0) != ctr:
+        return False
+    return att is None or ev.get("att", 0) == att
+
+
+def _order_key(ev: Event) -> int:
+    return ev.get("seq", 0)
+
+
+def explain_packet(
+    events: Sequence[Event],
+    packet_id: str,
+    shard: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Reconstruct one packet's causal chain from a (merged) trace.
+
+    Returns a dict with the packet key, its lifecycle events, the
+    packet-level ``outcome``, the index of the deciding event, and the
+    surrounding control-plane context.  Raises :class:`ExplainError`
+    when the packet is absent or appears in several shards and no
+    ``shard`` disambiguator is given (campaign runs reuse packet keys).
+    """
+    net, node, ctr, att = parse_packet_id(packet_id)
+    chain = [ev for ev in events if _is_packet_event(ev, net, node, ctr, att)]
+    if not chain:
+        raise ExplainError(f"no events for packet {packet_id}")
+    shards = sorted({str(ev["shard"]) for ev in chain if "shard" in ev})
+    if shard is not None:
+        chain = [ev for ev in chain if str(ev.get("shard", "")) == shard]
+        if not chain:
+            raise ExplainError(
+                f"no events for packet {packet_id} in shard {shard} "
+                f"(present in: {', '.join(shards)})"
+            )
+        shards = [shard]
+    elif len(shards) > 1:
+        raise ExplainError(
+            f"packet {packet_id} appears in {len(shards)} shards "
+            f"({', '.join(shards)}); pass --shard to choose one"
+        )
+    chain.sort(key=_order_key)
+
+    final_att = max(int(ev.get("att", 0)) for ev in chain)
+    receptions = [
+        ev
+        for ev in chain
+        if ev.get("type") == EventType.GW_RECEPTION
+        and int(ev.get("att", 0)) == final_att
+    ]
+    uplinks = [
+        ev
+        for ev in chain
+        if ev.get("type") == EventType.NETSERVER_UPLINK
+        and int(ev.get("att", 0)) == final_att
+    ]
+    outcome, deciding = _decide(events, chain, receptions, uplinks, shards)
+
+    context = _control_context(events, chain, shards, deciding)
+    deciding_index = None
+    if deciding is not None:
+        for i, ev in enumerate(chain):
+            if ev is deciding:
+                deciding_index = i
+                break
+        if deciding_index is None:
+            # The deciding event (e.g. a gateway reboot) is not part of
+            # the packet's own lifecycle; surface it via the context.
+            if all(ev is not deciding for ev in context):
+                context.append(deciding)
+                context.sort(key=_order_key)
+    return {
+        "packet": {"net": net, "node": node, "ctr": ctr, "att": att},
+        "shards": shards,
+        "final_att": final_att,
+        "outcome": outcome,
+        "events": chain,
+        "deciding_index": deciding_index,
+        "deciding": deciding,
+        "context": context,
+    }
+
+
+def _decide(
+    events: Sequence[Event],
+    chain: List[Event],
+    receptions: List[Event],
+    uplinks: List[Event],
+    shards: List[str],
+) -> Tuple[str, Optional[Event]]:
+    """The packet-level outcome and the event that decided it."""
+    if uplinks:
+        return "delivered", uplinks[-1]
+    outcomes = {str(ev.get("outcome")) for ev in receptions}
+    outcome = next(
+        (o for o in _OUTCOME_PRECEDENCE if o in outcomes),
+        sorted(outcomes)[0] if outcomes else "unknown",
+    )
+    deciders = [ev for ev in receptions if ev.get("outcome") == outcome]
+    decider = deciders[-1] if deciders else (chain[-1] if chain else None)
+    if outcome in ("received", "backhaul_lost"):
+        # Decoded somewhere but never reached the server: backhaul loss.
+        drops = [e for e in chain if e.get("type") == EventType.BACKHAUL_DROP]
+        if drops:
+            return "backhaul_lost", drops[-1]
+        return "backhaul_lost", decider
+    if outcome == "no_decoder":
+        rejects = [e for e in chain if e.get("type") == EventType.DECODER_REJECT]
+        if rejects:
+            return outcome, rejects[-1]
+    if outcome == "gateway_offline" and decider is not None:
+        reboot = _nearest_reboot(events, decider, shards)
+        if reboot is not None:
+            return outcome, reboot
+    return outcome, decider
+
+
+def _nearest_reboot(
+    events: Sequence[Event], reception: Event, shards: List[str]
+) -> Optional[Event]:
+    """The reboot that darkened ``reception``'s gateway at its instant.
+
+    Prefers the latest reboot at or before the reception's sim time on
+    the same gateway (the crash whose downtime swallowed the packet).
+    """
+    gw = reception.get("gw")
+    t = reception.get("t")
+    best: Optional[Event] = None
+    first_after: Optional[Event] = None
+    for ev in events:
+        if ev.get("type") != EventType.GW_REBOOT or ev.get("gw") != gw:
+            continue
+        if shards and "shard" in ev and str(ev["shard"]) not in shards:
+            continue
+        et = ev.get("t")
+        if isinstance(et, (int, float)) and isinstance(t, (int, float)):
+            if et <= t:
+                best = ev
+            elif first_after is None:
+                first_after = ev
+    return best or first_after
+
+
+def _control_context(
+    events: Sequence[Event],
+    chain: List[Event],
+    shards: List[str],
+    deciding: Optional[Event],
+) -> List[Event]:
+    """Control-plane events around the packet's merged-order window."""
+    if not chain:
+        return []
+    lo = min(_order_key(ev) for ev in chain) - _CONTEXT_WINDOW
+    hi = max(_order_key(ev) for ev in chain) + _CONTEXT_WINDOW
+    if deciding is not None:
+        lo = min(lo, _order_key(deciding) - 1)
+        hi = max(hi, _order_key(deciding) + 1)
+    out = [
+        ev
+        for ev in events
+        if ev.get("type") in _CONTEXT_TYPES
+        and lo <= _order_key(ev) <= hi
+        and (not shards or "shard" not in ev or str(ev["shard"]) in shards)
+    ]
+    out.sort(key=_order_key)
+    return out
+
+
+# -- rendering ------------------------------------------------------------
+
+_SKIP_FIELDS = ("seq", "type", "t", "sseq")
+
+
+def _format_event(ev: Event, marker: str = "   ") -> str:
+    t = ev.get("t")
+    t_str = f"{t:>10.3f}" if isinstance(t, (int, float)) else " " * 10
+    parts = [
+        f"{k}={ev[k]}" for k in ev if k not in _SKIP_FIELDS and k != "lam"
+    ]
+    lam = ev.get("lam")
+    if lam is not None:
+        parts.append(f"lam={lam}")
+    return f"{marker} {t_str}  {ev.get('type', '?'):<20} {' '.join(parts)}"
+
+
+def render_explain(report: Dict[str, Any]) -> str:
+    """Human-readable causal chain (the ``trace explain`` output)."""
+    pk = report["packet"]
+    att = pk["att"]
+    key = f"{pk['net']}:{pk['node']}:{pk['ctr']}" + (
+        f":{att}" if att is not None else ""
+    )
+    lines = [
+        f"packet {key} — outcome: {report['outcome']}"
+        + (f" (shard {report['shards'][0]})" if report["shards"] else "")
+    ]
+    deciding = report.get("deciding")
+    lines.append("lifecycle:")
+    for i, ev in enumerate(report["events"]):
+        marker = ">>>" if i == report.get("deciding_index") else "   "
+        lines.append(_format_event(ev, marker))
+    context = report.get("context") or []
+    if context:
+        lines.append("control-plane context:")
+        for ev in context:
+            marker = ">>>" if deciding is not None and ev is deciding else "   "
+            lines.append(_format_event(ev, marker))
+    if deciding is not None:
+        lines.append(
+            "deciding event: "
+            + str(deciding.get("type"))
+            + (
+                f" at t={deciding['t']:g}"
+                if isinstance(deciding.get("t"), (int, float))
+                else ""
+            )
+        )
+    return "\n".join(lines)

@@ -9,6 +9,13 @@ manifest (the only place wall-clock values appear by default); every
 subsequent line is an event in sequence order.  With the same seed two
 runs export byte-identical traces — wall-clock fields (``*wall_s``)
 are stripped unless ``include_wall=True``.
+
+Schema v2 adds causal ordering: every event is stamped with a ``lam``
+field — the recorder's Lamport clock sampled *inside the emit lock*, so
+the stamp reflects enqueue order even when listeners on other threads
+observe deliveries out of order.  The clock max-merges with remote
+samples (:meth:`TraceRecorder.merge_clock`) so cross-process merges can
+use ``lam`` as a causality-respecting tiebreak.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ import threading
 from collections import Counter
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
+from .causal import TraceContext
 from .events import EventType, TraceEvent
 
 __all__ = ["TraceRecorder", "load_trace"]
@@ -25,7 +33,8 @@ __all__ = ["TraceRecorder", "load_trace"]
 # A live subscriber to the event stream: (etype, t, fields).
 TraceListener = Callable[[str, Optional[float], Dict[str, Any]], None]
 
-TRACE_SCHEMA_VERSION = 1
+# v2: events carry a Lamport stamp ("lam"); manifests may carry "ctx".
+TRACE_SCHEMA_VERSION = 2
 
 
 class TraceRecorder:
@@ -49,7 +58,9 @@ class TraceRecorder:
         self.events: List[TraceEvent] = []
         self.counts: Counter = Counter()
         self.dropped_events = 0
+        self.context: Optional[TraceContext] = None
         self._seq = 0
+        self._lamport = 0
         self._run_index = 0
         self._lock = threading.Lock()
         self._listeners: List[TraceListener] = []
@@ -67,16 +78,20 @@ class TraceRecorder:
         Register listeners before emission starts.  With concurrent
         emitters (Master worker threads) the delivery order across
         threads is unspecified and may differ from storage ``seq``
-        order; byte-identical downstream aggregates are guaranteed only
-        for single-threaded emission (sim runs), where delivery order
-        equals storage order.
+        order; the ``lam`` stamp in ``fields`` — assigned at enqueue
+        time, under the storage lock — is the authoritative order, so
+        downstream aggregates that sort by ``lam`` are schedule-proof.
         """
         with self._lock:
             self._listeners.append(listener)
 
     def emit(self, etype: str, t: Optional[float] = None, **fields: Any) -> None:
-        """Append one event (thread-safe)."""
+        """Append one event (thread-safe), Lamport-stamped at enqueue."""
         with self._lock:
+            # Stamp inside the lock: the counter value fixes this event's
+            # position even if a listener on another thread sees it late.
+            self._lamport += 1
+            fields["lam"] = self._lamport
             self.counts[etype] += 1
             if len(self.events) >= self.max_events:
                 self.dropped_events += 1
@@ -88,6 +103,39 @@ class TraceRecorder:
             listeners = tuple(self._listeners)
         for listener in listeners:
             listener(etype, t, fields)
+
+    # -- causal context ----------------------------------------------------
+
+    @property
+    def lamport(self) -> int:
+        """Current Lamport clock value (thread-safe read)."""
+        with self._lock:
+            return self._lamport
+
+    def tick(self) -> int:
+        """Advance the clock for an outbound hand-off and return it."""
+        with self._lock:
+            self._lamport += 1
+            return self._lamport
+
+    def merge_clock(self, remote_lam: Any) -> None:
+        """Max-merge a remote Lamport sample (Lamport receive rule)."""
+        if not isinstance(remote_lam, int) or isinstance(remote_lam, bool):
+            return
+        with self._lock:
+            if remote_lam > self._lamport:
+                self._lamport = remote_lam
+
+    def set_context(self, ctx: TraceContext) -> None:
+        """Adopt ``ctx`` as this process's causal scope.
+
+        Merges the context's Lamport sample into the local clock and
+        records the context in the manifest so exported shards are
+        self-describing for :mod:`repro.obs.merge`.
+        """
+        self.context = ctx
+        self.merge_clock(ctx.lam)
+        self.manifest["ctx"] = ctx.to_wire()
 
     def next_run_index(self) -> int:
         """Allocate the index for a new simulation run segment."""
@@ -146,6 +194,7 @@ class TraceRecorder:
             self.counts.clear()
             self.dropped_events = 0
             self._seq = 0
+            self._lamport = 0
             self._run_index = 0
 
 

@@ -8,6 +8,7 @@ against four module-level slots that default to ``None``:
 * :data:`SPANS` — the active :class:`~repro.obs.profiling.SpanAggregator`
 * :data:`HEALTH` — the active :class:`~repro.obs.health.HealthMonitor`
 * :data:`PERF` — the active :class:`~repro.obs.perf.PerfProbe`
+* :data:`FLIGHT` — the active :class:`~repro.obs.flight.FlightRecorder`
 
 A hook is a single attribute load plus a ``None`` check when
 observability is disabled — the overhead budget for the default
@@ -21,6 +22,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .flight import FlightRecorder
     from .health import HealthMonitor
     from .metrics import MetricsRegistry
     from .perf import PerfProbe
@@ -33,6 +35,7 @@ __all__ = [
     "SPANS",
     "HEALTH",
     "PERF",
+    "FLIGHT",
     "activate",
     "deactivate",
 ]
@@ -45,6 +48,9 @@ HEALTH: Optional["HealthMonitor"] = None
 # The performance probe has its own lifecycle (PerfProbe.attach): a
 # perf measurement may wrap an observe() session or run without one.
 PERF: Optional["PerfProbe"] = None
+# The crash black box (see repro.obs.flight): components needing a
+# fault-time dump (campaign workers, the drill harness) read this slot.
+FLIGHT: Optional["FlightRecorder"] = None
 
 
 def activate(
@@ -52,19 +58,21 @@ def activate(
     metrics: Optional["MetricsRegistry"] = None,
     spans: Optional["SpanAggregator"] = None,
     health: Optional["HealthMonitor"] = None,
+    flight: Optional["FlightRecorder"] = None,
 ) -> None:
     """Install session components into the module slots.
 
     Called by :func:`repro.obs.observe`; tests may call it directly.
     Passing ``None`` for a component leaves that dimension disabled.
     """
-    global TRACE, METRICS, SPANS, HEALTH
+    global TRACE, METRICS, SPANS, HEALTH, FLIGHT
     TRACE = trace
     METRICS = metrics
     SPANS = spans
     HEALTH = health
+    FLIGHT = flight
 
 
 def deactivate() -> None:
     """Disable all observability (restores the zero-overhead default)."""
-    activate(None, None, None, None)
+    activate(None, None, None, None, None)

@@ -10,6 +10,10 @@ Usage::
     python -m repro.tools trace summarize chaos.jsonl
     python -m repro.tools trace render chaos.jsonl --bucket-s 2
     python -m repro.tools trace diff a.jsonl b.jsonl
+    python -m repro.tools trace merge campaigns/chaos/traces --out merged.jsonl
+    python -m repro.tools trace query merged.jsonl "type=gw.reception outcome=gateway_offline"
+    python -m repro.tools trace explain merged.jsonl 1:17:0
+    python -m repro.tools campaign run scenarios/chaos-campaign.yaml --jobs 4 --trace
     python -m repro.tools regress a.jsonl b.jsonl --rel-tol 0.1
     python -m repro.tools campaign run scenarios/fig02.yaml --jobs 4
     python -m repro.tools campaign status campaigns/fig02
@@ -32,7 +36,11 @@ as JSON — with ``--trace`` / ``--metrics`` the run executes inside an
 observability session and exports the JSONL trace / Prometheus
 snapshot.  ``render`` draws the headline series as an ASCII chart.
 ``trace`` inspects a previously written JSONL trace (``diff`` compares
-two).  ``regress`` compares two run artifacts against tolerances and
+two); ``trace merge`` joins per-process shards into one deterministic
+causally-ordered trace, ``trace query`` filters with a small
+``field OP value`` expression language, and ``trace explain`` walks one
+packet's cross-process causal chain and highlights the event that
+decided its outcome.  ``regress`` compares two run artifacts against tolerances and
 exits non-zero on drift.  ``campaign`` compiles a declarative scenario
 spec (:mod:`repro.scenarios`) into its seeded sweep grid and runs it in
 parallel with crash-tolerant resume (:mod:`repro.campaign`); ``campaign
@@ -227,8 +235,96 @@ def _run_observed(args, fast: bool):
     return result, manifest
 
 
+def _refuse_ambiguous_trace(path: str, command: str) -> Optional[str]:
+    """Reject input one single-trace command cannot interpret.
+
+    Returns an error message for a directory of shards or a file with
+    several manifest lines (concatenated shards); ``None`` when the
+    path is a plain single trace.
+    """
+    if os.path.isdir(path):
+        return (
+            f"trace {command}: {path!r} is a directory of shards — "
+            "ambiguous for a single-trace command; combine it first "
+            f"with 'repro.tools trace merge {path} --out merged.jsonl'"
+        )
+    events = load_trace(path)
+    manifests = sum(1 for ev in events if ev.get("type") == "manifest")
+    if manifests > 1:
+        return (
+            f"trace {command}: {path!r} carries {manifests} manifests "
+            "(concatenated shards?) — concatenation loses causal order; "
+            "combine the original shards with 'repro.tools trace merge'"
+        )
+    return None
+
+
+def _trace_merge_command(args) -> int:
+    from ..obs.merge import MergeError, discover_shards, merge_to_jsonl
+
+    try:
+        paths: List[str] = []
+        for path in args.paths:
+            paths.extend(discover_shards(path))
+        jsonl = merge_to_jsonl(paths)
+    except (MergeError, OSError) as exc:
+        print(f"trace merge: {exc}", file=sys.stderr)
+        return 2
+    if args.out_path:
+        with open(args.out_path, "w") as fh:
+            fh.write(jsonl)
+        print(
+            f"wrote {args.out_path} ({len(paths)} shards, "
+            f"{jsonl.count(chr(10)) - 1} events)",
+            file=sys.stderr,
+        )
+    else:
+        sys.stdout.write(jsonl)
+    return 0
+
+
 def _trace_command(args) -> int:
+    if args.trace_command == "merge":
+        return _trace_merge_command(args)
+    refusal = _refuse_ambiguous_trace(args.path, args.trace_command)
+    if refusal is None and args.trace_command == "diff":
+        refusal = _refuse_ambiguous_trace(args.path_b, args.trace_command)
+    if refusal is not None:
+        print(refusal, file=sys.stderr)
+        return 2
     events = load_trace(args.path)
+    if args.trace_command == "query":
+        from ..obs.query import QueryError, query_events
+
+        try:
+            selected = query_events(events, args.expr)
+        except QueryError as exc:
+            print(f"trace query: {exc}", file=sys.stderr)
+            return 2
+        shown = selected if args.limit is None else selected[: args.limit]
+        for ev in shown:
+            print(json.dumps(ev, separators=(",", ":")))
+        if len(shown) < len(selected):
+            print(
+                f"... {len(selected) - len(shown)} more "
+                f"(of {len(selected)} matching)",
+                file=sys.stderr,
+            )
+        return 0
+    if args.trace_command == "explain":
+        from ..obs.query import ExplainError, explain_packet, render_explain
+
+        try:
+            report = explain_packet(events, args.packet, shard=args.shard)
+        except ExplainError as exc:
+            print(f"trace explain: {exc}", file=sys.stderr)
+            return 2
+        if args.json_path:
+            with open(args.json_path, "w") as fh:
+                fh.write(json.dumps(report, indent=2, default=str) + "\n")
+            print(f"wrote {args.json_path}", file=sys.stderr)
+        print(render_explain(report))
+        return 0
     if args.trace_command == "summarize":
         print(json.dumps(summarize_trace(events), indent=2, default=str))
         return 0
@@ -328,6 +424,7 @@ def _campaign_command(args) -> int:
                 jobs=args.jobs,
                 resume=not args.no_resume,
                 progress=lambda msg: print(msg, file=sys.stderr),
+                trace=args.trace,
             )
             emit(summary, args.json_path)
             return 1 if summary["failed"] else 0
@@ -623,6 +720,47 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     diff_p.add_argument("path")
     diff_p.add_argument("path_b")
+    merge_p = trace_sub.add_parser(
+        "merge",
+        help="combine per-process shards into one causally-ordered trace",
+    )
+    merge_p.add_argument(
+        "paths",
+        nargs="+",
+        help="shard files, or directories of shards (flight dumps skipped)",
+    )
+    merge_p.add_argument(
+        "--out",
+        dest="out_path",
+        default=None,
+        help="write the merged JSONL here (default: stdout)",
+    )
+    query_p = trace_sub.add_parser(
+        "query",
+        help="filter events with 'field OP value' clauses "
+        "(e.g. 'type=gw.reception outcome=gateway_offline')",
+    )
+    query_p.add_argument("path")
+    query_p.add_argument("expr", help="whitespace-separated filter clauses")
+    query_p.add_argument("--limit", type=int, default=None)
+    explain_p = trace_sub.add_parser(
+        "explain",
+        help="walk one packet's causal chain (NET:NODE:CTR[:ATT]) and "
+        "highlight the outcome-deciding event",
+    )
+    explain_p.add_argument("path")
+    explain_p.add_argument("packet", help="packet id NET:NODE:CTR[:ATT]")
+    explain_p.add_argument(
+        "--shard",
+        default=None,
+        help="disambiguate when the packet id recurs across shards",
+    )
+    explain_p.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        help="also write the machine-readable chain to this file",
+    )
 
     regress_p = sub.add_parser(
         "regress",
@@ -719,6 +857,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--no-resume",
         action="store_true",
         help="re-execute runs even when their results already exist",
+    )
+    crun_p.add_argument(
+        "--trace",
+        action="store_true",
+        help="record per-run causal trace shards under <out>/traces/",
     )
     crun_p.add_argument(
         "--json",

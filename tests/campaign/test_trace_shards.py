@@ -1,0 +1,72 @@
+"""Traced campaigns: per-worker shards and merge determinism."""
+
+import json
+
+from repro.campaign import CampaignStore, run_campaign
+from repro.obs.causal import TraceContext
+from repro.obs.merge import merge_to_jsonl
+from repro.scenarios import parse_spec
+
+SPEC = (
+    "meta: {name: traced}\n"
+    "seed: 0\n"
+    "run: {seed_stride: 1}\n"
+    "networks: {devices: 6}\n"
+    "traffic: {shuffle: true}\n"
+    "sweep:\n"
+    "  networks.devices: [6, 8, 10]\n"
+)
+
+
+def _spec():
+    return parse_spec(SPEC, "traced.yaml")
+
+
+class TestTracedCampaign:
+    def test_one_shard_per_run_with_campaign_trace_root(self, tmp_path):
+        out = str(tmp_path / "c")
+        spec = _spec()
+        summary = run_campaign(spec, out, jobs=1, trace=True)
+        assert not summary["failed"]
+        store = CampaignStore(out)
+        shards = store.trace_shards()
+        assert len(shards) == summary["total"] == 3
+        assert summary["trace_shards"] == 3
+
+        root = TraceContext.root(f"{spec.name}:{spec.digest}", seed=0)
+        assert summary["trace_id"] == root.trace_id
+        for path in shards:
+            with open(path) as fh:
+                manifest = json.loads(fh.readline())
+            assert manifest["type"] == "manifest"
+            ctx = manifest["ctx"]
+            assert ctx["trace"] == root.trace_id
+            assert ctx["parent"] == root.span_id
+
+    def test_merge_is_parallelism_invariant(self, tmp_path):
+        d1, d2 = str(tmp_path / "j1"), str(tmp_path / "j2")
+        run_campaign(_spec(), d1, jobs=1, trace=True)
+        run_campaign(_spec(), d2, jobs=2, trace=True)
+        m1 = merge_to_jsonl(CampaignStore(d1).trace_shards())
+        m2 = merge_to_jsonl(CampaignStore(d2).trace_shards())
+        assert m1 == m2
+        # And merging twice from one set is byte-identical too.
+        assert merge_to_jsonl(CampaignStore(d1).trace_shards()) == m1
+
+    def test_untraced_campaign_writes_no_shards(self, tmp_path):
+        out = str(tmp_path / "c")
+        summary = run_campaign(_spec(), out, jobs=1)
+        assert "trace_id" not in summary
+        assert CampaignStore(out).trace_shards() == []
+
+    def test_flight_dumps_excluded_from_shards(self, tmp_path):
+        out = str(tmp_path / "c")
+        run_campaign(_spec(), out, jobs=1, trace=True)
+        store = CampaignStore(out)
+        # Drop a black-box dump next to the shards; it must stay out of
+        # the shard listing (and therefore out of merges).
+        with open(store.traces_dir + "/flight-999.jsonl", "w") as fh:
+            fh.write('{"type":"flight","pid":999}\n')
+        assert all(
+            "flight-" not in path for path in store.trace_shards()
+        )

@@ -1,0 +1,61 @@
+"""Tests for trace contexts: deterministic ids, wire round-trip."""
+
+from repro.obs.causal import TraceContext, derive_id
+
+
+class TestDeriveId:
+    def test_deterministic(self):
+        assert derive_id("trace", "run-1", 0) == derive_id("trace", "run-1", 0)
+
+    def test_distinct_parts_distinct_ids(self):
+        assert derive_id("trace", "run-1") != derive_id("trace", "run-2")
+
+    def test_separator_prevents_part_gluing(self):
+        # ("ab", "c") and ("a", "bc") must not collide.
+        assert derive_id("ab", "c") != derive_id("a", "bc")
+
+    def test_id_shape(self):
+        ident = derive_id("span", "x")
+        assert len(ident) == 16
+        assert int(ident, 16) >= 0
+
+
+class TestTraceContext:
+    def test_root_is_deterministic(self):
+        a = TraceContext.root("campaign:abc", seed=0)
+        b = TraceContext.root("campaign:abc", seed=0)
+        assert a == b
+        assert TraceContext.root("campaign:abc", seed=1).trace_id != a.trace_id
+
+    def test_child_links_parent_span(self):
+        root = TraceContext.root("run-1")
+        child = root.child("worker-0")
+        assert child.trace_id == root.trace_id
+        assert child.parent_span_id == root.span_id
+        assert child.span_id != root.span_id
+        # Same name => same span id: children are addressable.
+        assert root.child("worker-0").span_id == child.span_id
+        assert root.child("worker-1").span_id != child.span_id
+
+    def test_wire_round_trip(self):
+        ctx = TraceContext.root("run-1").child("leg").with_lam(7)
+        rebuilt = TraceContext.from_wire(ctx.to_wire())
+        assert rebuilt == ctx
+
+    def test_wire_omits_absent_parent(self):
+        wire = TraceContext.root("run-1").to_wire()
+        assert "parent" not in wire
+        assert set(wire) == {"run", "trace", "span", "lam"}
+
+    def test_from_wire_tolerates_garbage(self):
+        assert TraceContext.from_wire(None) is None
+        assert TraceContext.from_wire("not-a-dict") is None
+        assert TraceContext.from_wire([1, 2]) is None
+        assert TraceContext.from_wire({"run": "r"}) is None
+        assert TraceContext.from_wire({"run": "r", "trace": 5, "span": "s"}) is None
+
+    def test_from_wire_coerces_bad_lamport(self):
+        wire = {"run": "r", "trace": "t", "span": "s", "lam": "soon"}
+        ctx = TraceContext.from_wire(wire)
+        assert ctx is not None
+        assert ctx.lam == 0

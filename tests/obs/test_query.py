@@ -1,0 +1,176 @@
+"""Tests for the trace query language and the packet explain engine."""
+
+import pytest
+
+from repro.obs.query import (
+    ExplainError,
+    QueryError,
+    explain_packet,
+    parse_packet_id,
+    parse_query,
+    query_events,
+    render_explain,
+)
+
+
+def _ev(seq, etype, t=None, **fields):
+    d = {"seq": seq, "type": etype, "lam": seq}
+    if t is not None:
+        d["t"] = t
+    d.update(fields)
+    return d
+
+
+class TestParseQuery:
+    def test_clauses_and_coercion(self):
+        clauses = parse_query("type=gw.reception t>=10 gw!=2")
+        assert clauses == [
+            ("type", "=", "gw.reception"),
+            ("t", ">=", 10),
+            ("gw", "!=", 2),
+        ]
+
+    def test_longest_op_wins(self):
+        assert parse_query("t<=5") == [("t", "<=", 5)]
+
+    def test_bad_clause_raises(self):
+        with pytest.raises(QueryError, match="bad clause"):
+            parse_query("no-operator-here")
+
+    def test_empty_query_raises(self):
+        with pytest.raises(QueryError, match="empty"):
+            parse_query("   ")
+
+
+class TestQueryEvents:
+    EVENTS = [
+        {"seq": 0, "type": "manifest", "schema": 2},
+        _ev(1, "gw.reception", 1.0, gw=0, outcome="received"),
+        _ev(2, "gw.reception", 5.0, gw=1, outcome="gateway_offline"),
+        _ev(3, "master.crash", req="renew"),
+    ]
+
+    def test_manifest_excluded(self):
+        assert all(
+            e["type"] != "manifest" for e in query_events(self.EVENTS, "seq>=0")
+        )
+
+    def test_conjunction(self):
+        hits = query_events(self.EVENTS, "type=gw.reception t>2")
+        assert [e["seq"] for e in hits] == [2]
+
+    def test_missing_field_fails_except_not_equal(self):
+        assert query_events(self.EVENTS, "outcome=received") == [self.EVENTS[1]]
+        hits = query_events(self.EVENTS, "outcome!=received")
+        assert [e["seq"] for e in hits] == [2, 3]
+
+    def test_ordering_on_strings_never_matches(self):
+        assert query_events(self.EVENTS, "type>gw") == []
+
+
+class TestParsePacketId:
+    def test_three_and_four_part_forms(self):
+        assert parse_packet_id("1:9:2") == (1, 9, 2, None)
+        assert parse_packet_id("1:9:2:3") == (1, 9, 2, 3)
+
+    def test_bad_shapes_raise(self):
+        with pytest.raises(ExplainError):
+            parse_packet_id("1:9")
+        with pytest.raises(ExplainError):
+            parse_packet_id("1:9:x")
+
+
+def _packet_trace(outcomes, extra=()):
+    """One packet (net=1 node=9 ctr=1) heard by len(outcomes) gateways."""
+    events = []
+    seq = 1
+    for gw, outcome in enumerate(outcomes):
+        events.append(
+            _ev(seq, "gw.reception", 10.0, net=1, node=9, ctr=1, att=0,
+                gw=gw, outcome=outcome)
+        )
+        seq += 1
+    for ev in extra:
+        ev = dict(ev)
+        ev["seq"] = seq
+        seq += 1
+        events.append(ev)
+    return events
+
+
+class TestExplain:
+    def test_delivered_decided_by_uplink(self):
+        events = _packet_trace(
+            ["received", "channel_mismatch"],
+            extra=[
+                {"type": "netserver.uplink", "t": 10.0, "net": 1, "node": 9,
+                 "ctr": 1, "att": 0, "lam": 99}
+            ],
+        )
+        report = explain_packet(events, "1:9:1")
+        assert report["outcome"] == "delivered"
+        assert report["deciding"]["type"] == "netserver.uplink"
+        assert report["deciding_index"] is not None
+
+    def test_backhaul_lost_decided_by_drop(self):
+        events = _packet_trace(
+            ["received"],
+            extra=[
+                {"type": "backhaul.drop", "t": 10.0, "net": 1, "node": 9,
+                 "ctr": 1, "att": 0, "gw": 0, "lam": 50}
+            ],
+        )
+        report = explain_packet(events, "1:9:1")
+        assert report["outcome"] == "backhaul_lost"
+        assert report["deciding"]["type"] == "backhaul.drop"
+
+    def test_gateway_offline_decided_by_reboot(self):
+        reboot = {"seq": 90, "type": "gw.reboot", "t": 8.0, "gw": 0,
+                  "reason": "crash", "lam": 40}
+        events = _packet_trace(["gateway_offline", "channel_mismatch"])
+        events.append(reboot)
+        report = explain_packet(events, "1:9:1")
+        assert report["outcome"] == "gateway_offline"
+        assert report["deciding"] is reboot
+        # The reboot is control-plane, not lifecycle: shown via context.
+        assert report["deciding_index"] is None
+        assert reboot in report["context"]
+        rendered = render_explain(report)
+        assert ">>>" in rendered
+        assert "deciding event: gw.reboot" in rendered
+
+    def test_outcome_precedence_received_beats_offline(self):
+        events = _packet_trace(["gateway_offline", "received"])
+        # No uplink and no backhaul.drop recorded: a decoded packet that
+        # never reached the server is attributed to the backhaul.
+        report = explain_packet(events, "1:9:1")
+        assert report["outcome"] == "backhaul_lost"
+
+    def test_final_attempt_wins(self):
+        events = [
+            _ev(1, "gw.reception", 5.0, net=1, node=9, ctr=1, att=0,
+                gw=0, outcome="channel_mismatch"),
+            _ev(2, "gw.reception", 9.0, net=1, node=9, ctr=1, att=1,
+                gw=0, outcome="received"),
+            _ev(3, "netserver.uplink", 9.0, net=1, node=9, ctr=1, att=1),
+        ]
+        report = explain_packet(events, "1:9:1")
+        assert report["final_att"] == 1
+        assert report["outcome"] == "delivered"
+
+    def test_unknown_packet_raises(self):
+        with pytest.raises(ExplainError, match="no events"):
+            explain_packet(_packet_trace(["received"]), "2:2:2")
+
+    def test_multi_shard_ambiguity_requires_shard(self):
+        events = []
+        for shard in ("aaaa", "bbbb"):
+            ev = _ev(len(events) + 1, "gw.reception", 1.0, net=1, node=9,
+                     ctr=1, att=0, gw=0, outcome="channel_mismatch")
+            ev["shard"] = shard
+            events.append(ev)
+        with pytest.raises(ExplainError, match="--shard"):
+            explain_packet(events, "1:9:1")
+        report = explain_packet(events, "1:9:1", shard="bbbb")
+        assert report["shards"] == ["bbbb"]
+        assert len(report["events"]) == 1
